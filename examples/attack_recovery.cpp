@@ -1,0 +1,57 @@
+// Fig. 4(b)-style narrative: watch the victim's last-hop link as the flood
+// arrives, MAFIC cuts it, and legitimate TCP flows regain their bandwidth
+// after passing the probe test. Decomposes the arrival series into
+// legitimate vs attack bytes using ledger ground truth.
+//
+//   ./build/examples/attack_recovery
+
+#include <cstdio>
+#include <string>
+
+#include "scenario/experiment.hpp"
+
+int main() {
+  using namespace mafic;
+
+  scenario::ExperimentConfig cfg;
+  cfg.total_flows = 30;
+  cfg.seed = 7;
+  cfg.end_time = 8.0;
+
+  scenario::Experiment exp(cfg);
+  exp.setup();
+
+  // Tap the victim downlink and attribute bytes by ground truth.
+  util::BinnedSeries legit(0.1), attack(0.1);
+  auto& ledger = exp.ledger();
+  auto& sim = exp.simulator();
+  exp.domain().victim_access().downlink->add_head_filter(
+      std::make_unique<sim::TapConnector>([&](const sim::Packet& p) {
+        const auto* flow = ledger.flow(p.flow_id);
+        if (flow == nullptr) return;
+        (flow->truth.malicious ? attack : legit)
+            .add(sim.now(), p.size_bytes);
+      }));
+
+  exp.run_until(cfg.end_time);
+  const auto r = exp.snapshot_result();
+
+  std::printf("timeline (attack at t=%.1fs, pushback at t=%.1fs):\n\n",
+              cfg.attack_start, r.metrics.trigger_time);
+  std::printf("%6s %12s %12s   %s\n", "t(s)", "legit Mb/s", "attack Mb/s",
+              "victim-bound traffic (#=legit, x=attack)");
+  for (double t = 0.5; t < cfg.end_time - 0.1; t += 0.25) {
+    const double lr = legit.rate_between(t, t + 0.25) * 8 / 1e6;
+    const double ar = attack.rate_between(t, t + 0.25) * 8 / 1e6;
+    std::string bar(static_cast<std::size_t>(lr * 4), '#');
+    bar += std::string(static_cast<std::size_t>(ar * 4), 'x');
+    std::printf("%6.2f %12.2f %12.2f   %s\n", t, lr, ar, bar.c_str());
+  }
+
+  std::printf("\n%s\n", metrics::format_metrics(r.metrics).c_str());
+  std::printf("\nwhat to look for: the x's explode at t=%.1f, die within "
+              "~2xRTT of t=%.1f, and the #'s climb back — exactly the "
+              "story of the paper's Fig. 4(b)\n",
+              cfg.attack_start, r.metrics.trigger_time);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Why adaptive dropping? Compares MAFIC against the proportionate dropper
+// the authors used before (their ref. [2]) and an aggregate rate limiter
+// (ref. [8] style) on the same attack. The punchline is the collateral
+// damage column: flow-blind policies keep hurting legitimate flows for as
+// long as they stay active.
+//
+//   ./build/examples/baseline_comparison
+
+#include <cstdio>
+
+#include "scenario/experiment.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace mafic;
+
+  struct Candidate {
+    const char* name;
+    scenario::DefenseKind kind;
+  };
+  const Candidate candidates[] = {
+      {"MAFIC (adaptive + probe)", scenario::DefenseKind::kMafic},
+      {"proportionate drop (ref [2])", scenario::DefenseKind::kProportional},
+      {"aggregate limiter (ref [8])", scenario::DefenseKind::kAggregate},
+      {"no defense", scenario::DefenseKind::kNone},
+  };
+
+  util::TablePrinter table({"defense", "attack cut (alpha %)",
+                            "victim relief (beta %)", "legit loss (Lr %)",
+                            "verdict"});
+
+  for (const auto& c : candidates) {
+    scenario::ExperimentConfig cfg;
+    cfg.defense = c.kind;
+    cfg.seed = 3;
+    cfg.aggregate.limit_bps = 500e3;
+    scenario::Experiment exp(cfg);
+    const auto r = exp.run();
+    const auto& m = r.metrics;
+
+    if (!m.triggered) {
+      table.add_row({c.name, "-", "-", "-", "victim stays flooded"});
+      continue;
+    }
+    const char* verdict =
+        m.lr < 0.05 && m.alpha > 0.95
+            ? "surgical"
+            : (m.alpha > 0.9 ? "effective but indiscriminate" : "blunt");
+    table.add_row({c.name, util::TablePrinter::num(m.alpha * 100, 2),
+                   util::TablePrinter::num(m.beta * 100, 1),
+                   util::TablePrinter::num(m.lr * 100, 2), verdict});
+  }
+
+  std::printf("Defense comparison under the Table II attack "
+              "(%d%% TCP, default zombie army):\n\n",
+              95);
+  table.print();
+  std::printf("\nMAFIC keeps nearly all of the attack suppression while "
+              "cutting collateral damage by an order of magnitude — the "
+              "motivation stated in the paper's section II.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Full pushback pipeline demo (paper sections II + III together): LogLog
+// counters at every access link feed per-epoch traffic-matrix snapshots;
+// the victim detector spots the |Dj| anomaly; a_ij column scoring names the
+// attack-transit routers; MAFIC filters at those routers probe and cut the
+// malicious flows. No scripted trigger — detection is earned.
+//
+//   ./build/examples/pushback_pipeline
+
+#include <cstdio>
+
+#include "scenario/experiment.hpp"
+
+int main() {
+  using namespace mafic;
+
+  scenario::ExperimentConfig cfg;
+  cfg.trigger = scenario::TriggerMode::kDetector;
+  cfg.total_flows = 40;
+  cfg.tcp_fraction = 0.9;  // 4 zombies spread across the domain
+  cfg.router_count = 24;
+  cfg.seed = 2025;
+  cfg.end_time = 12.0;
+
+  std::printf("pushback pipeline: %zu routers, %zu flows (%.0f%% TCP), "
+              "attack at t=%.1fs, detection epoch %.0f ms\n",
+              cfg.router_count, cfg.total_flows, cfg.tcp_fraction * 100,
+              cfg.attack_start, cfg.epoch_seconds * 1000);
+
+  scenario::Experiment exp(cfg);
+  const auto r = exp.run();
+
+  if (!r.metrics.triggered) {
+    std::printf("detector never fired — try a heavier attack\n");
+    return 1;
+  }
+
+  std::printf("\nalarm -> pushback at t=%.2fs (%.2fs after the flood "
+              "began)\n",
+              r.metrics.trigger_time,
+              r.metrics.trigger_time - cfg.attack_start);
+
+  std::printf("\nATR identification (traffic-matrix column scoring):\n");
+  std::printf("  identified routers : ");
+  for (const auto id : r.atr.identified) std::printf("%u ", id);
+  std::printf("\n  ground truth       : ");
+  for (const auto id : r.atr.ground_truth) std::printf("%u ", id);
+  std::printf("\n  precision=%.2f recall=%.2f\n", r.atr.precision,
+              r.atr.recall);
+
+  // Detection fires mid-ramp here, so the generic beta window (which
+  // assumes a fully developed flood before the trigger) is not meaningful;
+  // report the flood cut directly from the arrival series instead.
+  const double flood_peak =
+      r.victim_offered_bytes.rate_between(cfg.attack_start + 0.05,
+                                          r.metrics.trigger_time) * 8 / 1e6;
+  const double after_cut =
+      r.victim_offered_bytes.rate_between(r.metrics.trigger_time + 0.3,
+                                          r.metrics.trigger_time + 0.8) *
+      8 / 1e6;
+  std::printf("\ndefense outcome: alpha=%.2f%% theta_n=%.3f%% "
+              "theta_p=%.4f%% Lr=%.2f%%\n",
+              r.metrics.alpha * 100, r.metrics.theta_n * 100,
+              r.metrics.theta_p * 100, r.metrics.lr * 100);
+  std::printf("victim-bound load: %.2f Mb/s during the flood -> %.2f Mb/s "
+              "after the cut\n", flood_peak, after_cut);
+  std::printf("\nvictim-bound offered load (Mb/s):\n");
+  for (double t = 1.5; t < 6.0; t += 0.25) {
+    const double rate =
+        r.victim_offered_bytes.rate_between(t, t + 0.25) * 8 / 1e6;
+    std::printf("  t=%4.2fs %7.2f  %s\n", t, rate,
+                std::string(static_cast<std::size_t>(rate * 2.5), '#')
+                    .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Section III-A's spoofing spectrum, end to end: attacks whose source
+// addresses range from outright illegal (caught by address screening, no
+// probe needed) to perfectly legitimate-looking (requiring the duplicate-
+// ACK probe test). Also shows the pathological per-packet-random-label
+// attack, where every packet is its own "flow".
+//
+//   ./build/examples/spoofing_spectrum
+
+#include <cstdio>
+
+#include "scenario/experiment.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace mafic;
+
+  struct Scenario {
+    const char* name;
+    attack::SpoofingConfig spoof;
+    bool per_packet;
+  };
+
+  attack::SpoofingConfig legit;  // default: all spoofs look allocated
+
+  attack::SpoofingConfig bogus;
+  bogus.legitimate_weight = 0;
+  bogus.illegal_weight = 0.5;
+  bogus.unreachable_weight = 0.5;
+
+  attack::SpoofingConfig mixed;
+  mixed.legitimate_weight = 0.4;
+  mixed.unreachable_weight = 0.3;
+  mixed.illegal_weight = 0.3;
+
+  const Scenario scenarios[] = {
+      {"legit-looking spoofs (probe path)", legit, false},
+      {"mixed spectrum (paper's target case)", mixed, false},
+      {"illegal/unreachable only (screened)", bogus, false},
+      {"per-packet bogus labels (screened)", bogus, true},
+      {"per-packet allocated labels (evasion!)", legit, true},
+  };
+
+  util::TablePrinter table({"spoofing model", "alpha(%)", "theta_n(%)",
+                            "screened->PDT", "probed flows"});
+  for (const auto& s : scenarios) {
+    scenario::ExperimentConfig cfg;
+    cfg.spoofing = s.spoof;
+    cfg.per_packet_spoofing = s.per_packet;
+    cfg.seed = 13;
+    scenario::Experiment exp(cfg);
+    const auto r = exp.run();
+    table.add_row({s.name,
+                   util::TablePrinter::num(r.metrics.alpha * 100, 2),
+                   util::TablePrinter::num(r.metrics.theta_n * 100, 3),
+                   std::to_string(r.screened_sources),
+                   std::to_string(r.probes_issued)});
+  }
+
+  std::printf("How MAFIC handles the IP-spoofing spectrum "
+              "(paper section III-A):\n\n");
+  table.print();
+  std::printf(
+      "\nreading the table:\n"
+      "  - legit-looking sources go through the full SFT probe test\n"
+      "  - illegal/unreachable sources short-circuit into the PDT, per\n"
+      "    packet if need be\n"
+      "  - the last row is a limitation this reproduction surfaces: when\n"
+      "    an attacker cycles labels drawn from *allocated* addresses,\n"
+      "    each label's arrival rate stays under the thin-flow threshold\n"
+      "    and earns the benefit of the doubt (NFT) — label-spreading\n"
+      "    evades any per-flow-label defense, MAFIC included\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file attack_plan.hpp
+/// Orchestrates a zombie army: staggers start times across a ramp window
+/// and stops everything at a configured time. Owns nothing; it drives
+/// Flooders owned by the scenario.
+
+#include <vector>
+
+#include "attack/zombie.hpp"
+#include "sim/simulator.hpp"
+
+namespace mafic::attack {
+
+class AttackPlan {
+ public:
+  struct Config {
+    double start_time = 1.0;    ///< first zombie fires
+    double ramp_seconds = 0.2;  ///< stagger window for the remaining ones
+    double stop_time = 0.0;     ///< 0 = never stop
+  };
+
+  AttackPlan(sim::Simulator* sim, Config cfg) : sim_(sim), cfg_(cfg) {}
+
+  void add(Flooder* z) { zombies_.push_back(z); }
+
+  /// Schedules all starts (and the stop, when configured).
+  void arm(util::Rng& rng) {
+    for (Flooder* z : zombies_) {
+      const double at =
+          cfg_.start_time + rng.uniform01() * cfg_.ramp_seconds;
+      sim_->schedule_at(at, [z] { z->start(); });
+    }
+    if (cfg_.stop_time > 0.0) {
+      sim_->schedule_at(cfg_.stop_time, [this] {
+        for (Flooder* z : zombies_) z->stop();
+      });
+    }
+  }
+
+  std::size_t zombie_count() const noexcept { return zombies_.size(); }
+  const Config& config() const noexcept { return cfg_; }
+
+ private:
+  sim::Simulator* sim_;
+  Config cfg_;
+  std::vector<Flooder*> zombies_;
+};
+
+}  // namespace mafic::attack

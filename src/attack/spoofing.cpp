@@ -1,0 +1,66 @@
+#include "attack/spoofing.hpp"
+
+#include <stdexcept>
+
+namespace mafic::attack {
+
+const char* to_string(SpoofKind k) noexcept {
+  switch (k) {
+    case SpoofKind::kGenuine:
+      return "genuine";
+    case SpoofKind::kLegitimate:
+      return "legitimate";
+    case SpoofKind::kUnreachable:
+      return "unreachable";
+    case SpoofKind::kIllegal:
+      return "illegal";
+  }
+  return "?";
+}
+
+SpoofingModel::SpoofingModel(SpoofingConfig cfg,
+                             std::vector<util::Addr> host_pool,
+                             util::Subnet unreachable, util::Subnet illegal,
+                             util::Rng rng)
+    : cfg_(cfg),
+      host_pool_(std::move(host_pool)),
+      unreachable_(unreachable),
+      illegal_(illegal),
+      rng_(rng),
+      total_weight_(cfg.genuine_weight + cfg.legitimate_weight +
+                    cfg.unreachable_weight + cfg.illegal_weight) {
+  if (total_weight_ <= 0.0) {
+    throw std::invalid_argument("spoofing weights must sum to > 0");
+  }
+}
+
+SpoofKind SpoofingModel::draw_kind() {
+  double x = rng_.uniform01() * total_weight_;
+  if ((x -= cfg_.genuine_weight) < 0.0) return SpoofKind::kGenuine;
+  if ((x -= cfg_.legitimate_weight) < 0.0) return SpoofKind::kLegitimate;
+  if ((x -= cfg_.unreachable_weight) < 0.0) return SpoofKind::kUnreachable;
+  return SpoofKind::kIllegal;
+}
+
+util::Addr SpoofingModel::draw_address(SpoofKind kind, util::Addr genuine) {
+  switch (kind) {
+    case SpoofKind::kGenuine:
+      return genuine;
+    case SpoofKind::kLegitimate:
+      if (host_pool_.empty()) return genuine;
+      return host_pool_[rng_.index(host_pool_.size())];
+    case SpoofKind::kUnreachable: {
+      const auto span = unreachable_.capacity();
+      return (unreachable_.base & unreachable_.mask()) |
+             static_cast<util::Addr>(rng_.uniform_int(1, span));
+    }
+    case SpoofKind::kIllegal: {
+      const auto span = illegal_.capacity();
+      return (illegal_.base & illegal_.mask()) |
+             static_cast<util::Addr>(rng_.uniform_int(1, span));
+    }
+  }
+  return genuine;
+}
+
+}  // namespace mafic::attack

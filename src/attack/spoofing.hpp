@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file spoofing.hpp
+/// IP source-address spoofing models. The paper positions MAFIC on the
+/// spectrum between "all sources illegal/unreachable" and "all sources
+/// legitimate-looking" (section III-A); these models generate flow labels
+/// along that spectrum:
+///
+///  * kGenuine       — the zombie's real address (no spoofing)
+///  * kLegitimate    — a real allocated host address inside the domain
+///  * kUnreachable   — a legal prefix that was never assigned to a host
+///  * kIllegal       — an address outside every registered subnet
+///
+/// A SpoofingModel mixes these categories with configured weights and
+/// produces stable per-flow source addresses (per-packet randomization is
+/// available for the spoofing ablation A5).
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ip.hpp"
+#include "util/rng.hpp"
+
+namespace mafic::attack {
+
+enum class SpoofKind : std::uint8_t {
+  kGenuine,
+  kLegitimate,
+  kUnreachable,
+  kIllegal,
+};
+
+const char* to_string(SpoofKind k) noexcept;
+
+struct SpoofingConfig {
+  double genuine_weight = 0.0;
+  double legitimate_weight = 1.0;  ///< default: all spoofs look legitimate
+  double unreachable_weight = 0.0;
+  double illegal_weight = 0.0;
+};
+
+class SpoofingModel {
+ public:
+  /// `host_pool` supplies real allocated addresses for kLegitimate;
+  /// `unreachable`/`illegal` supply prefixes for the bogus categories.
+  SpoofingModel(SpoofingConfig cfg, std::vector<util::Addr> host_pool,
+                util::Subnet unreachable, util::Subnet illegal,
+                util::Rng rng);
+
+  /// Draws a category according to the configured weights.
+  SpoofKind draw_kind();
+
+  /// Draws a source address of the given kind; `genuine` is the zombie's
+  /// real address, returned unchanged for kGenuine.
+  util::Addr draw_address(SpoofKind kind, util::Addr genuine);
+
+  /// Convenience: category + address in one step.
+  struct Spoof {
+    SpoofKind kind;
+    util::Addr addr;
+  };
+  Spoof draw(util::Addr genuine) {
+    const SpoofKind k = draw_kind();
+    return {k, draw_address(k, genuine)};
+  }
+
+  const SpoofingConfig& config() const noexcept { return cfg_; }
+
+ private:
+  SpoofingConfig cfg_;
+  std::vector<util::Addr> host_pool_;
+  util::Subnet unreachable_;
+  util::Subnet illegal_;
+  util::Rng rng_;
+  double total_weight_;
+};
+
+}  // namespace mafic::attack

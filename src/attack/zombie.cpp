@@ -1,0 +1,93 @@
+#include "attack/zombie.hpp"
+
+#include <algorithm>
+
+namespace mafic::attack {
+
+void Flooder::set_spoof(SpoofingModel* model) {
+  spoof_model_ = model;
+  const auto s = model->draw(node_->addr());
+  spoof_kind_ = s.kind;
+  wire_label_ = sim::FlowLabel{s.addr, raddr_, port_, rport_};
+}
+
+void Flooder::start() {
+  if (running_) return;
+  running_ = true;
+  if (wire_label_.dst == util::kInvalidAddr) {
+    wire_label_ = label();  // unspoofed
+  }
+  timer_ =
+      sim_->schedule(rng_.uniform01() * next_interval(), [this] { tick(); });
+}
+
+void Flooder::stop() {
+  running_ = false;
+  if (timer_ != sim::kInvalidEvent) {
+    sim_->cancel(timer_);
+    timer_ = sim::kInvalidEvent;
+  }
+  if (resume_event_ != sim::kInvalidEvent) {
+    sim_->cancel(resume_event_);
+    resume_event_ = sim::kInvalidEvent;
+  }
+}
+
+void Flooder::recv(sim::PacketPtr p) {
+  ++feedback_ignored_;
+  if (!cfg_.probe_evasion || !running_) return;
+  if (p->proto != sim::Protocol::kTcp ||
+      !p->has_flag(sim::tcp_flags::kAck)) {
+    return;
+  }
+  // Mimic a responsive sender: three duplicate ACKs => back off briefly.
+  if (++dup_ack_run_ < 3) return;
+  dup_ack_run_ = 0;
+  ++evasion_pauses_;
+  running_ = false;
+  if (timer_ != sim::kInvalidEvent) {
+    sim_->cancel(timer_);
+    timer_ = sim::kInvalidEvent;
+  }
+  resume_event_ = sim_->schedule(cfg_.evasion_pause_s, [this] {
+    resume_event_ = sim::kInvalidEvent;
+    start();
+  });
+}
+
+void Flooder::tick() {
+  timer_ = sim::kInvalidEvent;
+  if (!running_) return;
+  emit();
+  timer_ = sim_->schedule(next_interval(), [this] { tick(); });
+}
+
+void Flooder::emit() {
+  auto p = make_packet();
+  if (cfg_.per_packet_spoofing && spoof_model_ != nullptr) {
+    const auto s = spoof_model_->draw(node_->addr());
+    p->label = sim::FlowLabel{s.addr, raddr_, port_, rport_};
+  } else {
+    p->label = wire_label_;
+  }
+  p->proto = cfg_.framing;
+  p->size_bytes = cfg_.packet_bytes;
+  p->seq = next_seq_++;
+  if (cfg_.framing == sim::Protocol::kTcp) {
+    p->flags = sim::tcp_flags::kAck;  // mimics established-connection data
+    // No timestamp option: zombies don't bother echoing timestamps, so
+    // in-path RTT estimation falls back to its default for these flows.
+  }
+  ++sent_;
+  inject(std::move(p));
+}
+
+double Flooder::next_interval() {
+  const double base =
+      static_cast<double>(cfg_.packet_bytes) * 8.0 / cfg_.rate_bps;
+  if (cfg_.jitter_fraction <= 0.0) return base;
+  const double j = cfg_.jitter_fraction;
+  return std::max(1e-6, base * rng_.uniform(1.0 - j, 1.0 + j));
+}
+
+}  // namespace mafic::attack

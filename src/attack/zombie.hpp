@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file zombie.hpp
+/// Attack sources. A Flooder emits a constant-rate stream toward the victim
+/// with a (possibly spoofed) source address and, crucially, *ignores all
+/// feedback*: it neither slows down on loss nor reacts to duplicate ACKs.
+/// That unresponsiveness is exactly what MAFIC's probing detects.
+///
+/// Flooders can frame their packets as TCP (the common case the paper
+/// cites: "major parts of attacks use TCP protocol") or UDP.
+
+#include <cstdint>
+
+#include "attack/spoofing.hpp"
+#include "transport/agent.hpp"
+#include "util/rng.hpp"
+
+namespace mafic::attack {
+
+class Flooder final : public transport::Agent {
+ public:
+  struct Config {
+    sim::Protocol framing = sim::Protocol::kTcp;
+    double rate_bps = 1e6;         ///< paper's R, per zombie
+    std::uint32_t packet_bytes = 1000;
+    double jitter_fraction = 0.05;
+    bool per_packet_spoofing = false;  ///< ablation A5: new label per packet
+
+    /// Adaptive adversary (ablation A6): when true, the zombie mimics a
+    /// responsive sender — on seeing three duplicate ACKs (MAFIC's probe)
+    /// it pauses for `evasion_pause_s`, earning itself an NFT entry, then
+    /// resumes flooding at full rate.
+    bool probe_evasion = false;
+    double evasion_pause_s = 0.3;
+  };
+
+  Flooder(sim::Simulator* sim, sim::PacketFactory* factory, sim::Node* node,
+          std::uint16_t port, Config cfg, util::Rng rng)
+      : Agent(sim, factory, node, port), cfg_(cfg), rng_(rng) {}
+
+  ~Flooder() override { stop(); }
+
+  /// Chooses the spoofed source identity for this flow. Must be called
+  /// before start() when spoofing is desired; otherwise the real address
+  /// is used.
+  void set_spoof(SpoofingModel* model);
+
+  void start();
+  void stop();
+  bool running() const noexcept { return running_; }
+
+  /// The label actually stamped on attack packets (spoofed source).
+  sim::FlowLabel wire_label() const noexcept { return wire_label_; }
+  SpoofKind spoof_kind() const noexcept { return spoof_kind_; }
+
+  /// Feedback is counted and (unless probe_evasion is on) discarded.
+  void recv(sim::PacketPtr p) override;
+
+  std::uint64_t packets_sent() const noexcept { return sent_; }
+  std::uint64_t feedback_ignored() const noexcept {
+    return feedback_ignored_;
+  }
+  std::uint64_t evasion_pauses() const noexcept { return evasion_pauses_; }
+
+  const Config& config() const noexcept { return cfg_; }
+  void set_rate_bps(double r) noexcept { cfg_.rate_bps = r; }
+
+ private:
+  void tick();
+  void emit();
+  double next_interval();
+
+  Config cfg_;
+  util::Rng rng_;
+  SpoofingModel* spoof_model_ = nullptr;
+  sim::FlowLabel wire_label_{};
+  SpoofKind spoof_kind_ = SpoofKind::kGenuine;
+  bool running_ = false;
+  sim::EventId timer_ = sim::kInvalidEvent;
+  sim::EventId resume_event_ = sim::kInvalidEvent;
+  std::uint64_t sent_ = 0;
+  std::uint64_t feedback_ignored_ = 0;
+  std::uint64_t evasion_pauses_ = 0;
+  std::uint32_t dup_ack_run_ = 0;
+  std::uint32_t next_seq_ = 1;
+};
+
+}  // namespace mafic::attack

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file actuator.hpp
+/// Common control interface for in-router defense policies. The pushback
+/// coordinator activates actuators at identified ATRs, refreshes them while
+/// the attack persists ("Pushback Continue?"), and deactivates them — at
+/// which point MAFIC flushes all tables (Fig. 2 exit arc).
+
+#include <unordered_set>
+
+#include "util/ip.hpp"
+
+namespace mafic::core {
+
+using VictimSet = std::unordered_set<util::Addr>;
+
+class DefenseActuator {
+ public:
+  virtual ~DefenseActuator() = default;
+
+  /// Starts defending the given victim addresses.
+  virtual void activate(const VictimSet& victims) = 0;
+
+  /// Keep-alive from the coordinator; extends any activation timeout.
+  virtual void refresh() = 0;
+
+  /// Ends the response and clears all per-flow state.
+  virtual void deactivate() = 0;
+
+  virtual bool active() const noexcept = 0;
+};
+
+}  // namespace mafic::core

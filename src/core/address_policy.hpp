@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file address_policy.hpp
+/// Source-address screening (paper section III-A): "For packets with
+/// illegal or unreachable source IP addresses, we place them in ... the
+/// Permanently Drop Table and drop all such kind of packets."
+
+#include "util/ip.hpp"
+
+namespace mafic::core {
+
+class AddressPolicy {
+ public:
+  /// `validator` describes the domain's registered subnets and allocated
+  /// hosts; non-owning, must outlive the policy.
+  explicit AddressPolicy(const util::AddressValidator* validator)
+      : validator_(validator) {}
+
+  /// A source is acceptable when it is both legal (inside a registered
+  /// subnet) and reachable (actually allocated to a host).
+  bool acceptable(util::Addr src) const noexcept {
+    if (validator_ == nullptr) return true;
+    return validator_->is_reachable(src);
+  }
+
+ private:
+  const util::AddressValidator* validator_;
+};
+
+}  // namespace mafic::core

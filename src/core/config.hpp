@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file config.hpp
+/// Tunables of the MAFIC algorithm. Defaults reflect the paper: Pd = 90%
+/// (Table II), probe timer = 2 x RTT (section III-B), three duplicate ACKs
+/// (the standard fast-retransmit trigger).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mafic::core {
+
+struct MaficConfig {
+  /// Pd — probability of dropping a packet of an untested / suspicious
+  /// flow during the probing phase.
+  double drop_probability = 0.9;
+
+  /// The response timer as a multiple of the flow's RTT ("we set the timer
+  /// equal 2 x RTT"). The first half of the window measures the baseline
+  /// arrival rate, the second half the post-probe rate.
+  double probe_window_rtt_multiple = 2.0;
+
+  /// RTT bookkeeping. Timestamp echoes sampled at an ingress router see
+  /// roughly half of the true round trip (sink -> sender -> router), so the
+  /// sample is multiplied by `rtt_correction`. Flows without usable
+  /// timestamps get `default_rtt`.
+  double default_rtt = 0.04;
+  double rtt_correction = 2.0;
+  double min_rtt = 0.01;
+  double max_rtt = 0.1;
+  double rtt_ewma_alpha = 0.25;
+
+  /// "Arriving rate decreased?" — the flow passes the test when its probe-
+  /// half arrival count is below `decrease_ratio` times its baseline-half
+  /// count AND at least `min_absolute_decrease` packets fewer arrived.
+  /// The absolute guard matters for slow flows: counting noise on a
+  /// handful of packets can fake a 15% relative drop, but a genuine TCP
+  /// sender halving its window always sheds whole packets.
+  double decrease_ratio = 0.85;
+  std::uint32_t min_absolute_decrease = 2;
+
+  /// Flows with fewer baseline-half packets than this are too thin to
+  /// judge; they get the benefit of the doubt (moved to the NFT). Keeps
+  /// false positives on low-rate legitimate flows down at the price of
+  /// letting equally thin attack flows through (a false-negative source
+  /// the paper also exhibits).
+  std::uint32_t min_baseline_packets = 2;
+
+  /// Probe: number of duplicate ACKs sent to the claimed source and their
+  /// spacing. Three is the fast-retransmit trigger.
+  std::uint32_t probe_dup_acks = 3;
+  double probe_spacing_s = 0.0005;
+  std::uint32_t probe_ack_bytes = 40;
+  bool probe_enabled = true;  ///< ablation A4 switches this off
+
+  /// Flowchart-literal mode: drop *every* SFT packet during the window
+  /// instead of dropping with probability Pd (ablation).
+  bool drop_all_in_sft = false;
+
+  /// Table capacity bounds; overflowing SFT entries evict the oldest.
+  std::size_t sft_capacity = 4096;
+  std::size_t nft_capacity = 65536;
+  std::size_t pdt_capacity = 65536;
+
+  /// Reject sources whose address is illegal (outside every registered
+  /// subnet) or unreachable (never allocated) straight into the PDT.
+  bool address_screening = true;
+
+  /// Extension (paper future-work direction): when > 0, Nice Flow Table
+  /// entries expire after this many seconds and the flow faces a fresh
+  /// probation. Defends against on-off attackers that behave during the
+  /// probe window and flood afterwards. 0 = paper-faithful (NFT is
+  /// permanent until tables are flushed).
+  double nft_revalidation_interval = 0.0;
+
+  /// Pushback keep-alive: if > 0, the filter deactivates itself (flushing
+  /// all tables) when no refresh() arrives within this many seconds —
+  /// the "Pushback Continue? -> No" arc of Fig. 2. 0 means the activation
+  /// is latched until an explicit deactivate().
+  double refresh_timeout = 0.0;
+};
+
+}  // namespace mafic::core

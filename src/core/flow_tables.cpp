@@ -1,0 +1,114 @@
+#include "core/flow_tables.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace mafic::core {
+
+const char* to_string(TableKind k) noexcept {
+  switch (k) {
+    case TableKind::kNone:
+      return "none";
+    case TableKind::kSuspicious:
+      return "SFT";
+    case TableKind::kNice:
+      return "NFT";
+    case TableKind::kPermanentDrop:
+      return "PDT";
+  }
+  return "?";
+}
+
+TableKind FlowTables::classify(std::uint64_t key, double now) {
+  if (pdt_.contains(key)) return TableKind::kPermanentDrop;
+  const auto it = nft_.find(key);
+  if (it != nft_.end()) {
+    if (now <= it->second) return TableKind::kNice;
+    nft_.erase(it);  // revalidation: niceness has expired
+    ++stats_.nft_expirations;
+    return TableKind::kNone;
+  }
+  if (sft_.contains(key)) return TableKind::kSuspicious;
+  return TableKind::kNone;
+}
+
+SftEntry* FlowTables::find_sft(std::uint64_t key) noexcept {
+  const auto it = sft_.find(key);
+  return it == sft_.end() ? nullptr : &it->second;
+}
+
+SftEntry* FlowTables::admit_sft(std::uint64_t key,
+                                const sim::FlowLabel& label, double now,
+                                double window_seconds) {
+  if (classify(key) != TableKind::kNone) return nullptr;
+
+  if (sft_.size() >= cfg_.sft_capacity) {
+    // Evict the probation closest to (or past) its deadline; it has had
+    // the most chance to be judged already.
+    auto victim = sft_.begin();
+    for (auto it = sft_.begin(); it != sft_.end(); ++it) {
+      if (it->second.deadline < victim->second.deadline) victim = it;
+    }
+    sft_.erase(victim);
+    ++stats_.sft_evictions;
+  }
+
+  SftEntry e;
+  e.key = key;
+  e.label = label;
+  e.entry_time = now;
+  e.split_time = now + window_seconds / 2.0;
+  e.deadline = now + window_seconds;
+  auto [it, inserted] = sft_.emplace(key, e);
+  assert(inserted);
+  ++stats_.sft_admissions;
+  return &it->second;
+}
+
+SftEntry FlowTables::resolve(std::uint64_t key, TableKind destination,
+                             double now) {
+  const auto it = sft_.find(key);
+  assert(it != sft_.end() && "resolving a flow that is not under probation");
+  SftEntry out = it->second;
+  sft_.erase(it);
+  if (destination == TableKind::kNice) {
+    if (nft_.size() >= cfg_.nft_capacity) nft_.erase(nft_.begin());
+    const double expiry = cfg_.nft_revalidation_interval > 0.0
+                              ? now + cfg_.nft_revalidation_interval
+                              : std::numeric_limits<double>::infinity();
+    nft_[key] = expiry;
+    ++stats_.moved_to_nft;
+  } else {
+    assert(destination == TableKind::kPermanentDrop);
+    insert_bounded(pdt_, cfg_.pdt_capacity, key);
+    ++stats_.moved_to_pdt;
+  }
+  return out;
+}
+
+void FlowTables::add_pdt_direct(std::uint64_t key) {
+  assert(classify(key) == TableKind::kNone);
+  insert_bounded(pdt_, cfg_.pdt_capacity, key);
+  ++stats_.direct_pdt;
+}
+
+void FlowTables::flush() {
+  sft_.clear();
+  nft_.clear();
+  pdt_.clear();
+  ++stats_.flushes;
+}
+
+void FlowTables::insert_bounded(std::unordered_set<std::uint64_t>& set,
+                                std::size_t capacity, std::uint64_t key) {
+  if (set.size() >= capacity) {
+    // Hash-set eviction: drop an arbitrary resident entry. Under the
+    // paper's workloads the NFT/PDT never approach capacity; this bound
+    // only protects against per-packet-spoofed label floods (ablation A5).
+    set.erase(set.begin());
+  }
+  set.insert(key);
+}
+
+}  // namespace mafic::core

@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file flow_tables.hpp
+/// The three MAFIC flow tables (paper Fig. 2):
+///   SFT — Suspicious Flow Table: flows under probation, with the response
+///         timer and the two rate-measurement half-windows;
+///   NFT — Nice Flow Table: flows that responded to the probe (never
+///         dropped again until tables are flushed);
+///   PDT — Permanently Drop Table: unresponsive flows and flows with
+///         illegal/unreachable sources (every packet dropped).
+///
+/// Tables store 64-bit hashes of the 4-tuple label, not the label itself
+/// (section III-B). Class invariant: a key is in at most one table.
+
+#include <cstdint>
+#include <limits>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/config.hpp"
+#include "sim/packet.hpp"
+#include "sim/types.hpp"
+
+namespace mafic::core {
+
+enum class TableKind : std::uint8_t {
+  kNone,
+  kSuspicious,
+  kNice,
+  kPermanentDrop,
+};
+
+const char* to_string(TableKind k) noexcept;
+
+/// Probation record for one suspicious flow.
+struct SftEntry {
+  std::uint64_t key = 0;
+  sim::FlowLabel label;      ///< kept to craft the probe ACKs
+  double entry_time = 0.0;   ///< when the flow was first dropped into SFT
+  double split_time = 0.0;   ///< baseline half ends / probe half begins
+  double deadline = 0.0;     ///< timer expiry (entry + 2 x RTT)
+  std::uint32_t baseline_count = 0;  ///< arrivals in [entry, split)
+  std::uint32_t probe_count = 0;     ///< arrivals in [split, deadline)
+  bool probe_sent = false;
+  sim::EventId probe_event = sim::kInvalidEvent;
+  sim::EventId decision_event = sim::kInvalidEvent;
+};
+
+class FlowTables {
+ public:
+  explicit FlowTables(const MaficConfig& cfg) : cfg_(cfg) {}
+
+  struct Stats {
+    std::uint64_t sft_admissions = 0;
+    std::uint64_t sft_evictions = 0;
+    std::uint64_t moved_to_nft = 0;
+    std::uint64_t moved_to_pdt = 0;
+    std::uint64_t direct_pdt = 0;  ///< illegal/unreachable screening
+    std::uint64_t nft_expirations = 0;  ///< revalidation extension
+    std::uint64_t flushes = 0;
+  };
+
+  /// Current table of `key`. When NFT revalidation is enabled, an expired
+  /// NFT entry is lazily removed and the key reports kNone, sending the
+  /// flow back through probation on its next drop.
+  TableKind classify(std::uint64_t key,
+                     double now = -std::numeric_limits<double>::infinity());
+
+  SftEntry* find_sft(std::uint64_t key) noexcept;
+
+  /// Admits a flow into the SFT (must not be in any table). Returns the
+  /// new entry, or nullptr if the key is already tabled. Evicts the oldest
+  /// probation when full.
+  SftEntry* admit_sft(std::uint64_t key, const sim::FlowLabel& label,
+                      double now, double window_seconds);
+
+  /// Resolves a probation: removes the SFT entry and inserts the key into
+  /// NFT or PDT. Returns the resolved entry by value (for callbacks).
+  /// `now` stamps the NFT expiry when revalidation is configured.
+  SftEntry resolve(std::uint64_t key, TableKind destination,
+                   double now = 0.0);
+
+  /// Screening shortcut: key goes straight to the PDT (no probation).
+  void add_pdt_direct(std::uint64_t key);
+
+  bool in_nft(std::uint64_t key) const noexcept {
+    return nft_.contains(key);
+  }
+  /// Expiry stamp of an NFT entry (tests/diagnostics); +inf when the entry
+  /// never expires, NaN when absent.
+  double nft_expiry(std::uint64_t key) const noexcept {
+    const auto it = nft_.find(key);
+    return it == nft_.end() ? std::numeric_limits<double>::quiet_NaN()
+                            : it->second;
+  }
+  bool in_pdt(std::uint64_t key) const noexcept {
+    return pdt_.contains(key);
+  }
+
+  /// "End dropping & flush all tables" (Fig. 2 exit arc).
+  void flush();
+
+  std::size_t sft_size() const noexcept { return sft_.size(); }
+  std::size_t nft_size() const noexcept { return nft_.size(); }
+  std::size_t pdt_size() const noexcept { return pdt_.size(); }
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// Visits every live SFT entry (tests, diagnostics).
+  template <typename Fn>
+  void for_each_sft(Fn&& fn) const {
+    for (const auto& [key, entry] : sft_) fn(entry);
+  }
+
+ private:
+  void insert_bounded(std::unordered_set<std::uint64_t>& set,
+                      std::size_t capacity, std::uint64_t key);
+
+  const MaficConfig& cfg_;
+  std::unordered_map<std::uint64_t, SftEntry> sft_;
+  /// key -> expiry time (+inf when revalidation is off).
+  std::unordered_map<std::uint64_t, double> nft_;
+  std::unordered_set<std::uint64_t> pdt_;
+  Stats stats_;
+};
+
+}  // namespace mafic::core

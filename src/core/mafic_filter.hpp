@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file mafic_filter.hpp
+/// The MAFIC datapath element — the paper's contribution. One filter sits
+/// at the head of an ingress SimplexLink of an Attack-Transit Router and
+/// implements the Fig. 2 control flow:
+///
+///   packet destined to a protected victim arrives
+///     -> PDT match?  drop
+///     -> NFT match?  forward
+///     -> SFT match?  update the arrival counts; on timer expiry decide:
+///                    rate decreased => NFT, else => PDT;
+///                    while under probation drop with probability Pd
+///     -> new flow:   illegal/unreachable source => PDT, drop;
+///                    otherwise drop with probability Pd and, when the
+///                    drop fires, admit to SFT, schedule the duplicate-ACK
+///                    probe and the 2 x RTT response timer
+///
+/// The probe is sent at the *midpoint* of the response window: the first
+/// half measures the flow's baseline arrival rate, the second half its
+/// post-probe rate, and the decision compares the two halves.
+
+#include <functional>
+
+#include "core/actuator.hpp"
+#include "core/address_policy.hpp"
+#include "core/config.hpp"
+#include "core/flow_tables.hpp"
+#include "core/prober.hpp"
+#include "core/rtt_estimator.hpp"
+#include "sim/connector.hpp"
+#include "sim/node.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace mafic::core {
+
+class MaficFilter final : public sim::InlineFilter, public DefenseActuator {
+ public:
+  struct Stats {
+    std::uint64_t offered = 0;        ///< victim-bound packets inspected
+    std::uint64_t forwarded = 0;
+    std::uint64_t dropped_probation = 0;  ///< Pd drops (SFT / admission)
+    std::uint64_t dropped_pdt = 0;
+    std::uint64_t screened_sources = 0;  ///< illegal/unreachable -> PDT
+    std::uint64_t probes_issued = 0;
+    std::uint64_t decided_nice = 0;
+    std::uint64_t decided_malicious = 0;
+  };
+
+  /// Invoked when a probation resolves; receives the resolved entry and
+  /// its destination table.
+  using ClassificationCallback =
+      std::function<void(const SftEntry&, TableKind)>;
+  /// Invoked for every victim-bound packet inspected while active.
+  using OfferedCallback = std::function<void(const sim::Packet&)>;
+
+  MaficFilter(sim::Simulator* sim, sim::PacketFactory* factory,
+              sim::Node* atr_node, MaficConfig cfg,
+              const AddressPolicy* policy, util::Rng rng);
+
+  // --- DefenseActuator ---
+  void activate(const VictimSet& victims) override;
+  void refresh() override;
+  void deactivate() override;
+  bool active() const noexcept override { return active_; }
+
+  void set_classification_callback(ClassificationCallback cb) {
+    on_classified_ = std::move(cb);
+  }
+  void set_offered_callback(OfferedCallback cb) {
+    on_offered_ = std::move(cb);
+  }
+
+  const MaficConfig& config() const noexcept { return cfg_; }
+  const FlowTables& tables() const noexcept { return tables_; }
+  const RttEstimator& rtt_estimator() const noexcept { return rtt_; }
+  const Prober& prober() const noexcept { return prober_; }
+  const Stats& stats() const noexcept { return stats_; }
+  sim::NodeId atr_node_id() const noexcept;
+
+ protected:
+  Decision inspect(sim::Packet& p) override;
+
+ private:
+  /// Resolves a probation according to the two half-window counts.
+  TableKind decide(std::uint64_t key);
+  void admit(const sim::Packet& p, std::uint64_t key);
+  void schedule_probe(SftEntry& e);
+  void schedule_decision(SftEntry& e);
+  void arm_expiry();
+
+  sim::Simulator* sim_;
+  sim::Node* atr_node_;
+  MaficConfig cfg_;
+  FlowTables tables_;
+  RttEstimator rtt_;
+  Prober prober_;
+  const AddressPolicy* policy_;
+  util::Rng rng_;
+
+  bool active_ = false;
+  VictimSet victims_;
+  double expires_at_ = 0.0;
+  sim::EventId expiry_event_ = sim::kInvalidEvent;
+
+  ClassificationCallback on_classified_;
+  OfferedCallback on_offered_;
+  Stats stats_;
+};
+
+}  // namespace mafic::core

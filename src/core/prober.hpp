@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file prober.hpp
+/// The duplicate-ACK probe: "send duplicated ACKs to hosts with source IP
+/// address" (section III-A). The ATR crafts ACK packets that pretend to
+/// come from the flow's destination (the victim) and addresses them to the
+/// flow's *claimed* source. A genuine TCP sender counts them as duplicate
+/// ACKs (ack_no = 0 never advances snd_una), fast-retransmits and halves
+/// its window; a zombie, or an innocent third party whose address was
+/// spoofed, does not change the flow's sending rate.
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "sim/node.hpp"
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace mafic::core {
+
+class Prober {
+ public:
+  Prober(sim::Simulator* sim, sim::PacketFactory* factory, sim::Node* atr,
+         const MaficConfig& cfg)
+      : sim_(sim), factory_(factory), atr_(atr), cfg_(cfg) {}
+
+  /// Emits cfg.probe_dup_acks duplicate ACKs toward flow.src, spaced
+  /// cfg.probe_spacing_s apart. Returns the event id of the last emission
+  /// (kInvalidEvent when emitted synchronously).
+  void probe(const sim::FlowLabel& flow);
+
+  std::uint64_t probes_issued() const noexcept { return probes_; }
+  std::uint64_t probe_packets_sent() const noexcept { return packets_; }
+
+ private:
+  void emit(const sim::FlowLabel& flow);
+
+  sim::Simulator* sim_;
+  sim::PacketFactory* factory_;
+  sim::Node* atr_;
+  const MaficConfig& cfg_;
+  std::uint64_t probes_ = 0;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace mafic::core

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file rtt_estimator.hpp
+/// Per-flow RTT estimation at a router from TCP timestamp echoes, as the
+/// paper suggests ("RTT information is available in most TCP traffic flows
+/// by checking the time stamp in the packet header"). A data packet's
+/// TSecr is the stamp of the ACK the sender most recently received, so
+/// (now - TSecr) sampled at an ingress router covers sink -> sender ->
+/// router: roughly half the round trip. The configured correction factor
+/// scales the sample back to a full-RTT estimate.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/config.hpp"
+#include "util/stats.hpp"
+
+namespace mafic::core {
+
+class RttEstimator {
+ public:
+  explicit RttEstimator(const MaficConfig& cfg) : cfg_(cfg) {}
+
+  /// Feeds one timestamp-echo sample (now - tsecr) for a flow key.
+  void observe(std::uint64_t key, double raw_sample) {
+    if (raw_sample <= 0.0) return;
+    const double corrected = raw_sample * cfg_.rtt_correction;
+    if (corrected < cfg_.min_rtt / 4.0 || corrected > cfg_.max_rtt * 4.0) {
+      return;  // garbage echo (e.g. stale stamp after idleness)
+    }
+    auto [it, inserted] =
+        flows_.try_emplace(key, util::Ewma{cfg_.rtt_ewma_alpha});
+    it->second.update(corrected);
+  }
+
+  /// Current estimate for the flow, clamped; default when never observed.
+  double rtt(std::uint64_t key) const {
+    const auto it = flows_.find(key);
+    if (it == flows_.end() || !it->second.initialized()) {
+      return cfg_.default_rtt;
+    }
+    const double v = it->second.value();
+    if (v < cfg_.min_rtt) return cfg_.min_rtt;
+    if (v > cfg_.max_rtt) return cfg_.max_rtt;
+    return v;
+  }
+
+  bool has_estimate(std::uint64_t key) const {
+    return flows_.contains(key);
+  }
+
+  std::size_t tracked_flows() const noexcept { return flows_.size(); }
+  void clear() { flows_.clear(); }
+
+ private:
+  const MaficConfig& cfg_;
+  std::unordered_map<std::uint64_t, util::Ewma> flows_;
+};
+
+}  // namespace mafic::core

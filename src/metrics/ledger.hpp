@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file ledger.hpp
+/// Ground-truth accounting. The ledger knows which flow each packet came
+/// from (via the metrics-only flow_id side channel) and whether that flow
+/// is malicious; the defense never reads any of this. All five paper
+/// metrics are computed from the counters collected here.
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/packet.hpp"
+#include "sim/types.hpp"
+#include "util/time_series.hpp"
+
+namespace mafic::metrics {
+
+/// What the experiment knows about one traffic source.
+struct FlowGroundTruth {
+  sim::FlowId id = sim::kUntrackedFlow;
+  bool malicious = false;
+  bool tcp = false;         ///< congestion-responsive transport
+  sim::FlowLabel label;     ///< wire label (spoofed source for zombies)
+  sim::NodeId ingress_router = sim::kInvalidNode;
+};
+
+class PacketLedger {
+ public:
+  /// Counters for one flow within one phase (pre/post trigger).
+  struct PhaseCounters {
+    std::uint64_t offered_at_defense = 0;
+    std::uint64_t dropped_probation = 0;  ///< Pd drops (probe phase)
+    std::uint64_t dropped_pdt = 0;
+    std::uint64_t dropped_baseline = 0;
+    std::uint64_t queue_drops = 0;
+    std::uint64_t victim_arrivals = 0;  ///< delivered over the last hop
+
+    std::uint64_t defense_drops() const noexcept {
+      return dropped_probation + dropped_pdt + dropped_baseline;
+    }
+  };
+
+  struct FlowRecord {
+    FlowGroundTruth truth;
+    PhaseCounters pre;
+    PhaseCounters post;
+  };
+
+  explicit PacketLedger(double series_bin_width = 0.05)
+      : victim_offered_bytes_(series_bin_width),
+        victim_delivered_bytes_(series_bin_width),
+        victim_offered_packets_(series_bin_width) {}
+
+  void register_flow(const FlowGroundTruth& truth);
+  const FlowRecord* flow(sim::FlowId id) const;
+  std::size_t flow_count() const noexcept { return flows_.size(); }
+
+  /// Called once when the pushback first activates; earlier events count
+  /// as "pre", later ones as "post".
+  void set_trigger_time(double t) noexcept { trigger_time_ = t; }
+  bool triggered() const noexcept {
+    return trigger_time_ != std::numeric_limits<double>::infinity();
+  }
+  double trigger_time() const noexcept { return trigger_time_; }
+
+  // --- event hooks -------------------------------------------------------
+  void on_defense_offered(const sim::Packet& p, double now);
+  void on_drop(const sim::Packet& p, sim::DropReason r, sim::NodeId where,
+               double now);
+  /// Pre-queue observation on the victim's last-hop link (bandwidth
+  /// series for Fig. 4(b); the beta numerator/denominator).
+  void on_victim_offered(const sim::Packet& p, double now);
+  /// Post-queue delivery over the last hop ("hit the victim node").
+  void on_victim_delivered(const sim::Packet& p, double now);
+
+  // --- aggregates ---------------------------------------------------------
+  const util::BinnedSeries& victim_offered_bytes() const noexcept {
+    return victim_offered_bytes_;
+  }
+  const util::BinnedSeries& victim_offered_packets() const noexcept {
+    return victim_offered_packets_;
+  }
+  const util::BinnedSeries& victim_delivered_bytes() const noexcept {
+    return victim_delivered_bytes_;
+  }
+
+  template <typename Fn>
+  void for_each_flow(Fn&& fn) const {
+    for (const auto& [id, rec] : flows_) fn(rec);
+  }
+
+  std::uint64_t untracked_drops() const noexcept { return untracked_drops_; }
+  std::uint64_t probe_packets_seen() const noexcept { return probe_seen_; }
+
+ private:
+  PhaseCounters& phase(FlowRecord& rec, double now) noexcept {
+    return now < trigger_time_ ? rec.pre : rec.post;
+  }
+
+  std::unordered_map<sim::FlowId, FlowRecord> flows_;
+  double trigger_time_ = std::numeric_limits<double>::infinity();
+  util::BinnedSeries victim_offered_bytes_;
+  util::BinnedSeries victim_delivered_bytes_;
+  util::BinnedSeries victim_offered_packets_;
+  std::uint64_t untracked_drops_ = 0;
+  std::uint64_t probe_seen_ = 0;
+};
+
+}  // namespace mafic::metrics

@@ -1,0 +1,82 @@
+#include "metrics/report.hpp"
+
+#include <cstdio>
+
+namespace mafic::metrics {
+
+Metrics compute_metrics(const PacketLedger& ledger,
+                        const ReportWindows& windows) {
+  Metrics m;
+  m.triggered = ledger.triggered();
+  if (!m.triggered) return m;
+  m.trigger_time = ledger.trigger_time();
+
+  ledger.for_each_flow([&](const PacketLedger::FlowRecord& rec) {
+    const auto& post = rec.post;
+    m.total_offered += post.offered_at_defense;
+    if (rec.truth.malicious) {
+      m.malicious_offered += post.offered_at_defense;
+      m.malicious_dropped += post.defense_drops();
+      m.malicious_arrived += post.victim_arrivals;
+    } else {
+      m.legit_offered += post.offered_at_defense;
+      m.legit_dropped += post.defense_drops();
+      if (rec.truth.tcp) {
+        m.legit_pdt_dropped += post.dropped_pdt;
+      }
+    }
+  });
+
+  if (m.malicious_offered > 0) {
+    m.alpha = static_cast<double>(m.malicious_dropped) /
+              static_cast<double>(m.malicious_offered);
+    // "Not dropped ... across the defense line": packets the defense let
+    // through. (Arrivals at the victim additionally depend on downstream
+    // queues; m.malicious_arrived keeps that raw count.)
+    m.theta_n =
+        static_cast<double>(m.malicious_offered - m.malicious_dropped) /
+        static_cast<double>(m.malicious_offered);
+  }
+  if (m.legit_offered > 0) {
+    m.lr = static_cast<double>(m.legit_dropped) /
+           static_cast<double>(m.legit_offered);
+  }
+  if (m.total_offered > 0) {
+    m.theta_p = static_cast<double>(m.legit_pdt_dropped) /
+                static_cast<double>(m.total_offered);
+  }
+
+  const auto& series = ledger.victim_offered_bytes();
+  const double t = m.trigger_time;
+  m.pre_rate_bps =
+      series.rate_between(t - windows.beta_pre_window, t) * 8.0;
+  const double post_start = t + windows.beta_post_skip;
+  m.post_rate_bps =
+      series.rate_between(post_start, post_start + windows.beta_post_window) *
+      8.0;
+  if (m.pre_rate_bps > 0.0) {
+    m.beta = 1.0 - m.post_rate_bps / m.pre_rate_bps;
+  }
+  return m;
+}
+
+std::string format_metrics(const Metrics& m) {
+  char buf[512];
+  if (!m.triggered) {
+    return "pushback never triggered; no defense metrics available";
+  }
+  std::snprintf(
+      buf, sizeof(buf),
+      "trigger at t=%.3fs | alpha=%.2f%% beta=%.1f%% theta_p=%.4f%% "
+      "theta_n=%.3f%% Lr=%.2f%% | malicious %llu/%llu dropped, "
+      "legit %llu/%llu dropped",
+      m.trigger_time, m.alpha * 100.0, m.beta * 100.0, m.theta_p * 100.0,
+      m.theta_n * 100.0, m.lr * 100.0,
+      static_cast<unsigned long long>(m.malicious_dropped),
+      static_cast<unsigned long long>(m.malicious_offered),
+      static_cast<unsigned long long>(m.legit_dropped),
+      static_cast<unsigned long long>(m.legit_offered));
+  return buf;
+}
+
+}  // namespace mafic::metrics

@@ -1,0 +1,35 @@
+#include "pushback/atr_identifier.hpp"
+
+#include <algorithm>
+
+namespace mafic::pushback {
+
+std::vector<AtrScore> identify_atrs(
+    const sketch::TrafficMatrixSnapshot& snap, sim::NodeId victim_router,
+    const AtrConfig& cfg) {
+  const auto col = snap.column(victim_router);
+  double total = 0.0;
+  for (const double v : col) total += v;
+
+  std::vector<AtrScore> selected;
+  if (total <= 0.0) return selected;
+
+  for (std::size_t i = 0; i < col.size(); ++i) {
+    if (static_cast<sim::NodeId>(i) == victim_router) continue;
+    const double share = col[i] / total;
+    if (col[i] >= cfg.min_intersection && share >= cfg.share_threshold) {
+      selected.push_back(
+          AtrScore{static_cast<sim::NodeId>(i), col[i], share});
+    }
+  }
+  std::sort(selected.begin(), selected.end(),
+            [](const AtrScore& a, const AtrScore& b) {
+              return a.intersection > b.intersection;
+            });
+  if (cfg.max_atrs > 0 && selected.size() > cfg.max_atrs) {
+    selected.resize(cfg.max_atrs);
+  }
+  return selected;
+}
+
+}  // namespace mafic::pushback

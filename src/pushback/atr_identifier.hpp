@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file atr_identifier.hpp
+/// Given an epoch snapshot and the alarming last-hop router j, ranks
+/// ingress routers by their estimated contribution a_ij = |Si ∩ Dj| and
+/// selects the Attack-Transit Routers (paper section II: "we can identify
+/// the ATRs by checking the values of a_ij for all ingress routers i").
+
+#include <vector>
+
+#include "sketch/traffic_matrix.hpp"
+
+namespace mafic::pushback {
+
+struct AtrConfig {
+  /// An ingress router is an ATR when its a_ij is at least this share of
+  /// the total column mass ...
+  double share_threshold = 0.05;
+  /// ... and at least this many distinct packets in the epoch (filters
+  /// sketch noise around zero).
+  double min_intersection = 20.0;
+  /// Optional cap on how many ATRs are selected (0 = unlimited).
+  std::size_t max_atrs = 0;
+};
+
+struct AtrScore {
+  sim::NodeId router = sim::kInvalidNode;
+  double intersection = 0.0;  ///< a_ij estimate
+  double share = 0.0;         ///< fraction of the column total
+};
+
+/// Returns selected ATRs sorted by descending contribution.
+std::vector<AtrScore> identify_atrs(
+    const sketch::TrafficMatrixSnapshot& snap, sim::NodeId victim_router,
+    const AtrConfig& cfg);
+
+}  // namespace mafic::pushback

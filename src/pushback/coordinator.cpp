@@ -1,0 +1,120 @@
+#include "pushback/coordinator.hpp"
+
+#include <algorithm>
+
+namespace mafic::pushback {
+
+PushbackCoordinator::PushbackCoordinator(sim::Simulator* sim, Config cfg)
+    : sim_(sim), cfg_(cfg), detector_(cfg.detector) {
+  detector_.set_alarm_callback(
+      [this](const AttackAlarm& a, const sketch::TrafficMatrixSnapshot& s) {
+        on_alarm(a, s);
+      });
+  detector_.set_clear_callback(
+      [this](sim::NodeId r, double t) { on_clear(r, t); });
+}
+
+PushbackCoordinator::~PushbackCoordinator() {
+  if (refresh_event_ != sim::kInvalidEvent) sim_->cancel(refresh_event_);
+}
+
+void PushbackCoordinator::watch(sketch::TrafficMonitor& monitor) {
+  monitor.subscribe([this](const sketch::TrafficMatrixSnapshot& snap) {
+    detector_.on_epoch(snap);
+    // While the alarm persists, keep re-evaluating the ATR set: zombies
+    // that ramped up after the first alarming epoch must also be engaged.
+    if (triggered_ && detector_.alarming(victim_router_)) {
+      engage(snap);
+    }
+  });
+}
+
+void PushbackCoordinator::protect(sim::NodeId victim_router,
+                                  util::Addr victim_addr) {
+  victim_router_ = victim_router;
+  victims_.insert(victim_addr);
+}
+
+void PushbackCoordinator::register_actuator(sim::NodeId router,
+                                            core::DefenseActuator* a) {
+  actuators_[router].push_back(a);
+}
+
+void PushbackCoordinator::on_alarm(const AttackAlarm& alarm,
+                                   const sketch::TrafficMatrixSnapshot& snap) {
+  // Only the protected victim's last-hop router matters here; alarms for
+  // other routers would be separate incidents.
+  if (alarm.router != victim_router_ || victims_.empty()) return;
+  engage(snap);
+}
+
+void PushbackCoordinator::engage(const sketch::TrafficMatrixSnapshot& snap) {
+  const auto atrs = identify_atrs(snap, victim_router_, cfg_.atr);
+  if (atrs.empty()) return;
+
+  bool any_new = false;
+  for (const auto& score : atrs) {
+    if (std::find(active_atrs_.begin(), active_atrs_.end(), score.router) !=
+        active_atrs_.end()) {
+      continue;
+    }
+    active_atrs_.push_back(score.router);
+    any_new = true;
+    sim_->schedule(cfg_.control_delay,
+                   [this, router = score.router] { activate_router(router); });
+  }
+
+  if (!triggered_ && any_new) {
+    triggered_ = true;
+    trigger_time_ = sim_->now() + cfg_.control_delay;
+    if (on_trigger_) on_trigger_(trigger_time_, atrs);
+  }
+  if (!refreshing_) {
+    refreshing_ = true;
+    refresh_event_ =
+        sim_->schedule(cfg_.refresh_interval, [this] { refresh_tick(); });
+  }
+}
+
+void PushbackCoordinator::activate_router(sim::NodeId router) {
+  const auto it = actuators_.find(router);
+  if (it == actuators_.end()) return;
+  for (core::DefenseActuator* a : it->second) a->activate(victims_);
+}
+
+void PushbackCoordinator::refresh_tick() {
+  refresh_event_ = sim::kInvalidEvent;
+  if (!refreshing_) return;
+  const bool attack_ongoing =
+      cfg_.latch || detector_.alarming(victim_router_);
+  if (attack_ongoing) {
+    for (const auto router : active_atrs_) {
+      const auto it = actuators_.find(router);
+      if (it == actuators_.end()) continue;
+      for (core::DefenseActuator* a : it->second) a->refresh();
+    }
+  }
+  refresh_event_ =
+      sim_->schedule(cfg_.refresh_interval, [this] { refresh_tick(); });
+}
+
+void PushbackCoordinator::on_clear(sim::NodeId router, double) {
+  if (router != victim_router_ || cfg_.latch) return;
+  cancel();
+}
+
+void PushbackCoordinator::cancel() {
+  refreshing_ = false;
+  if (refresh_event_ != sim::kInvalidEvent) {
+    sim_->cancel(refresh_event_);
+    refresh_event_ = sim::kInvalidEvent;
+  }
+  for (const auto router : active_atrs_) {
+    const auto it = actuators_.find(router);
+    if (it == actuators_.end()) continue;
+    for (core::DefenseActuator* a : it->second) a->deactivate();
+  }
+  active_atrs_.clear();
+}
+
+}  // namespace mafic::pushback

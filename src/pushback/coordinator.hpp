@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file coordinator.hpp
+/// End-to-end pushback control: subscribes the victim detector to the
+/// traffic monitor, identifies ATRs when an alarm fires, activates the
+/// defense actuators registered at those routers (after a control-plane
+/// delay), keeps them refreshed while the attack persists, and tears the
+/// response down when the detector clears (unless latched).
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/actuator.hpp"
+#include "pushback/atr_identifier.hpp"
+#include "pushback/victim_detector.hpp"
+#include "sim/simulator.hpp"
+
+namespace mafic::pushback {
+
+class PushbackCoordinator {
+ public:
+  struct Config {
+    double control_delay = 0.01;    ///< victim router -> ATR signaling
+    double refresh_interval = 0.25; ///< keep-alive period
+    bool latch = true;  ///< once triggered, refresh until the run ends
+    AtrConfig atr{};
+    VictimDetector::Config detector{};
+  };
+
+  using TriggerCallback = std::function<void(
+      double time, const std::vector<AtrScore>& atrs)>;
+
+  PushbackCoordinator(sim::Simulator* sim, Config cfg);
+  ~PushbackCoordinator();
+
+  PushbackCoordinator(const PushbackCoordinator&) = delete;
+  PushbackCoordinator& operator=(const PushbackCoordinator&) = delete;
+
+  /// Subscribes to epoch snapshots from the traffic monitor.
+  void watch(sketch::TrafficMonitor& monitor);
+
+  /// Declares the protected victim (its last-hop router and address).
+  void protect(sim::NodeId victim_router, util::Addr victim_addr);
+
+  /// Registers a defense actuator living at `router` (e.g. a MaficFilter
+  /// on one of its ingress links). Multiple actuators per router are fine.
+  void register_actuator(sim::NodeId router, core::DefenseActuator* a);
+
+  /// First-activation notification (used by the ledger to set the
+  /// trigger time).
+  void set_trigger_callback(TriggerCallback cb) {
+    on_trigger_ = std::move(cb);
+  }
+
+  bool triggered() const noexcept { return triggered_; }
+  double trigger_time() const noexcept { return trigger_time_; }
+  const std::vector<sim::NodeId>& active_atrs() const noexcept {
+    return active_atrs_;
+  }
+  VictimDetector& detector() noexcept { return detector_; }
+  const Config& config() const noexcept { return cfg_; }
+
+  /// Manually ends the response (also invoked on detector clear when not
+  /// latched).
+  void cancel();
+
+ private:
+  void on_alarm(const AttackAlarm& alarm,
+                const sketch::TrafficMatrixSnapshot& snap);
+  /// Identifies ATRs from `snap` and activates any new ones. Called on the
+  /// alarm transition and again on every epoch while the alarm persists,
+  /// so late-ramping attack sources are still caught.
+  void engage(const sketch::TrafficMatrixSnapshot& snap);
+  void on_clear(sim::NodeId router, double time);
+  void activate_router(sim::NodeId router);
+  void refresh_tick();
+
+  sim::Simulator* sim_;
+  Config cfg_;
+  VictimDetector detector_;
+
+  sim::NodeId victim_router_ = sim::kInvalidNode;
+  core::VictimSet victims_;
+
+  std::unordered_map<sim::NodeId, std::vector<core::DefenseActuator*>>
+      actuators_;
+  std::vector<sim::NodeId> active_atrs_;
+
+  bool triggered_ = false;
+  double trigger_time_ = 0.0;
+  bool refreshing_ = false;
+  sim::EventId refresh_event_ = sim::kInvalidEvent;
+  TriggerCallback on_trigger_;
+};
+
+}  // namespace mafic::pushback

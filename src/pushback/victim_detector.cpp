@@ -1,0 +1,49 @@
+#include "pushback/victim_detector.hpp"
+
+#include <algorithm>
+
+namespace mafic::pushback {
+
+void VictimDetector::on_epoch(const sketch::TrafficMatrixSnapshot& snap) {
+  if (states_.size() < snap.d.size()) {
+    states_.resize(snap.d.size(), RouterState{util::Ewma{cfg_.ewma_alpha}});
+  }
+
+  for (std::size_t j = 0; j < snap.d.size(); ++j) {
+    auto& st = states_[j];
+    const double d = snap.d[j].estimate();
+    ++st.epochs_seen;
+
+    if (!st.alarming) {
+      const double base = st.baseline.initialized()
+                              ? st.baseline.value()
+                              : d;  // first epoch: self-baseline
+      const bool warm = st.epochs_seen > cfg_.warmup_epochs;
+      const bool high = d > std::max(cfg_.min_packets_per_epoch,
+                                     cfg_.trigger_factor * base) &&
+                        st.baseline.initialized();
+      if (warm && high) {
+        st.alarming = true;
+        ++alarms_;
+        if (on_alarm_) {
+          on_alarm_(AttackAlarm{static_cast<sim::NodeId>(j), snap.epoch_end,
+                                d, base},
+                    snap);
+        }
+        continue;  // baseline frozen while alarming
+      }
+      st.baseline.update(d);
+    } else {
+      const double base = st.baseline.value();
+      if (d < cfg_.clear_factor * std::max(base, 1.0)) {
+        st.alarming = false;
+        if (on_clear_) {
+          on_clear_(static_cast<sim::NodeId>(j), snap.epoch_end);
+        }
+        st.baseline.update(d);
+      }
+    }
+  }
+}
+
+}  // namespace mafic::pushback

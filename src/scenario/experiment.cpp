@@ -1,0 +1,415 @@
+#include "scenario/experiment.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace mafic::scenario {
+
+namespace {
+constexpr std::uint16_t kSourcePort = 5000;
+constexpr std::uint16_t kVictimPortBase = 2000;
+}  // namespace
+
+topology::DomainConfig ExperimentConfig::default_domain() {
+  // 3 Mb/s victim last hop against a default zombie army of ~16-20 Mb/s:
+  // the flood outweighs legitimate traffic roughly 5:1, the regime the
+  // paper's evaluation (and Fig. 4(b)'s overload spike) depicts.
+  topology::DomainConfig d;
+  d.victim_bandwidth_bps = 3e6;
+  return d;
+}
+
+pushback::PushbackCoordinator::Config ExperimentConfig::default_pushback() {
+  pushback::PushbackCoordinator::Config p;
+  p.latch = true;
+  p.control_delay = 0.01;
+  p.refresh_interval = 0.25;
+  p.detector.warmup_epochs = 12;
+  p.detector.trigger_factor = 1.8;
+  p.detector.min_packets_per_epoch = 30.0;
+  p.atr.share_threshold = 0.04;
+  p.atr.min_intersection = 10.0;
+  return p;
+}
+
+Experiment::Experiment(ExperimentConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed), ledger_(cfg.series_bin_width) {
+  cfg_.mafic.drop_probability = cfg_.drop_probability;
+}
+
+Experiment::~Experiment() = default;
+
+void Experiment::setup() {
+  if (setup_done_) return;
+  setup_done_ = true;
+
+  build_topology();
+  build_sketches();
+  build_flows();   // hosts must exist before routes are built
+  net_->build_routes();
+  build_defense();
+  arm_trigger();
+
+  // Global drop accounting must see every component; installing it last
+  // covers links, nodes and filters alike.
+  net_->set_drop_handler(
+      [this](const sim::Packet& p, sim::DropReason r, sim::NodeId where) {
+        ledger_.on_drop(p, r, where, sim_.now());
+      });
+}
+
+void Experiment::build_topology() {
+  net_ = std::make_unique<sim::Network>(&sim_);
+  auto domain_cfg = cfg_.domain;
+  domain_cfg.router_count = cfg_.router_count;
+  domain_ = std::make_unique<topology::Domain>(net_.get(), rng_.split(),
+                                               domain_cfg);
+  domain_->build_core();
+  policy_ = std::make_unique<core::AddressPolicy>(&domain_->validator());
+
+  // Victim last-hop instrumentation: offered (pre-queue) and delivered
+  // (post-queue) on the router->victim downlink.
+  sim::SimplexLink* down = domain_->victim_access().downlink;
+  down->add_head_filter(std::make_unique<sim::TapConnector>(
+      [this](const sim::Packet& p) {
+        ledger_.on_victim_offered(p, sim_.now());
+      }));
+  down->add_tail_tap(std::make_unique<sim::TapConnector>(
+      [this](const sim::Packet& p) {
+        ledger_.on_victim_delivered(p, sim_.now());
+      }));
+}
+
+void Experiment::build_sketches() {
+  bank_ = std::make_unique<sketch::RouterSketchBank>(
+      cfg_.router_count, cfg_.sketch_precision_bits,
+      /*hash_seed=*/cfg_.seed ^ 0x5ca1ab1eULL);
+  monitor_ = std::make_unique<sketch::TrafficMonitor>(&sim_, bank_.get(),
+                                                      cfg_.epoch_seconds);
+  // Victim access counts as an egress point for D_victim.
+  sketch::attach_egress_counter(domain_->victim_access().downlink,
+                                domain_->victim_router(), bank_.get());
+  sketch::attach_ingress_counter(domain_->victim_access().uplink,
+                                 domain_->victim_router(), bank_.get());
+  monitor_->start();
+}
+
+void Experiment::build_flows() {
+  const std::size_t vt = cfg_.total_flows;
+  legit_count_ =
+      static_cast<std::size_t>(std::lround(cfg_.tcp_fraction * double(vt)));
+  legit_count_ = std::min(legit_count_, vt);
+  attack_count_ = vt - legit_count_;
+  if (attack_count_ == 0 && cfg_.tcp_fraction < 1.0 && vt > 0) {
+    attack_count_ = 1;
+    legit_count_ = vt - 1;
+  }
+
+  const util::Addr victim = domain_->victim_addr();
+  sim::Node* victim_node = net_->node(domain_->victim_host());
+  sim::FlowId next_flow = 1;
+
+  // --- legitimate flows ---------------------------------------------------
+  const auto n_udp = static_cast<std::size_t>(
+      std::lround(cfg_.legit_udp_fraction * double(legit_count_)));
+  for (std::size_t i = 0; i < legit_count_; ++i) {
+    auto& access = domain_->attach_host();
+    sketch::attach_ingress_counter(access.uplink, access.router, bank_.get());
+    sketch::attach_egress_counter(access.downlink, access.router,
+                                  bank_.get());
+    sim::Node* host = net_->node(access.host);
+    const auto vport =
+        static_cast<std::uint16_t>(kVictimPortBase + next_flow);
+    const sim::FlowId flow = next_flow++;
+
+    const bool is_udp = i < n_udp;
+    if (is_udp) {
+      transport::CbrSource::Config cc;
+      cc.rate_bps = cfg_.legit_udp_rate_bps;
+      cc.packet_bytes = cfg_.legit_packet_bytes;
+      auto src = std::make_unique<transport::CbrSource>(
+          &sim_, &factory_, host, kSourcePort, cc, rng_.split());
+      src->connect(victim, vport);
+      src->set_flow_id(flow);
+      auto sink = std::make_unique<transport::UdpSink>(&sim_, &factory_,
+                                                       victim_node, vport);
+      const double start =
+          rng_.uniform(cfg_.legit_start_min, cfg_.legit_start_max);
+      transport::CbrSource* src_ptr = src.get();
+      sim_.schedule_at(start, [src_ptr] { src_ptr->start(); });
+      agents_.push_back(std::move(src));
+      agents_.push_back(std::move(sink));
+    } else {
+      transport::TcpSender::Config tc;
+      tc.mss_bytes = cfg_.legit_packet_bytes;
+      auto src = std::make_unique<transport::TcpSender>(
+          &sim_, &factory_, host, kSourcePort, tc);
+      src->connect(victim, vport);
+      src->set_flow_id(flow);
+      auto sink = std::make_unique<transport::TcpSink>(&sim_, &factory_,
+                                                       victim_node, vport);
+      sink->connect(host->addr(), kSourcePort);
+      const double start =
+          rng_.uniform(cfg_.legit_start_min, cfg_.legit_start_max);
+      transport::TcpSender* src_ptr = src.get();
+      sim_.schedule_at(start, [src_ptr] { src_ptr->start(); });
+      tcp_sender_ptrs_.push_back(src.get());
+      agents_.push_back(std::move(src));
+      agents_.push_back(std::move(sink));
+    }
+
+    metrics::FlowGroundTruth truth;
+    truth.id = flow;
+    truth.malicious = false;
+    truth.tcp = !is_udp;
+    truth.label = sim::FlowLabel{host->addr(), victim, kSourcePort, vport};
+    truth.ingress_router = access.router;
+    ledger_.register_flow(truth);
+  }
+
+  // The spoofing pool contains only innocent hosts (snapshot before
+  // zombies are attached).
+  spoof_model_ = std::make_unique<attack::SpoofingModel>(
+      cfg_.spoofing, domain_->host_addresses(), domain_->unreachable_subnet(),
+      domain_->illegal_subnet(), rng_.split());
+
+  // --- attack flows ---------------------------------------------------------
+  attack::AttackPlan::Config pc;
+  pc.start_time = cfg_.attack_start;
+  pc.ramp_seconds = cfg_.attack_ramp;
+  attack_plan_ = std::make_unique<attack::AttackPlan>(&sim_, pc);
+
+  for (std::size_t i = 0; i < attack_count_; ++i) {
+    auto& access = domain_->attach_host();
+    sketch::attach_ingress_counter(access.uplink, access.router, bank_.get());
+    sketch::attach_egress_counter(access.downlink, access.router,
+                                  bank_.get());
+    sim::Node* host = net_->node(access.host);
+    const auto vport =
+        static_cast<std::uint16_t>(kVictimPortBase + next_flow);
+    const sim::FlowId flow = next_flow++;
+
+    attack::Flooder::Config fc;
+    fc.framing = cfg_.attack_framing;
+    fc.rate_bps = cfg_.attack_army_total_bps > 0.0
+                      ? cfg_.attack_army_total_bps / double(attack_count_)
+                      : cfg_.attack_rate_bps;
+    fc.packet_bytes = cfg_.attack_packet_bytes;
+    fc.per_packet_spoofing = cfg_.per_packet_spoofing;
+    fc.probe_evasion = cfg_.attack_probe_evasion;
+    fc.evasion_pause_s = cfg_.attack_evasion_pause_s;
+    auto z = std::make_unique<attack::Flooder>(&sim_, &factory_, host,
+                                               kSourcePort, fc, rng_.split());
+    z->connect(victim, vport);
+    z->set_flow_id(flow);
+    z->set_spoof(spoof_model_.get());
+
+    metrics::FlowGroundTruth truth;
+    truth.id = flow;
+    truth.malicious = true;
+    truth.tcp = false;
+    truth.label = z->wire_label();
+    truth.ingress_router = access.router;
+    ledger_.register_flow(truth);
+
+    zombie_routers_.push_back(access.router);
+    attack_plan_->add(z.get());
+    zombie_ptrs_.push_back(z.get());
+    agents_.push_back(std::move(z));
+  }
+  attack_plan_->arm(rng_);
+}
+
+void Experiment::build_defense() {
+  if (cfg_.defense == DefenseKind::kNone) return;
+
+  coordinator_ = std::make_unique<pushback::PushbackCoordinator>(
+      &sim_, cfg_.pushback);
+  coordinator_->protect(domain_->victim_router(), domain_->victim_addr());
+  if (cfg_.trigger == TriggerMode::kDetector) {
+    coordinator_->watch(*monitor_);
+    coordinator_->set_trigger_callback(
+        [this](double t, const std::vector<pushback::AtrScore>&) {
+          if (!ledger_.triggered()) ledger_.set_trigger_time(t);
+        });
+  }
+
+  // One filter per ingress access uplink (except the victim's own).
+  for (const auto& access : domain_->access_links()) {
+    sim::Node* atr = net_->node(access.router);
+    switch (cfg_.defense) {
+      case DefenseKind::kMafic: {
+        auto filter = std::make_unique<core::MaficFilter>(
+            &sim_, &factory_, atr, cfg_.mafic, policy_.get(), rng_.split());
+        filter->set_offered_callback([this](const sim::Packet& p) {
+          ledger_.on_defense_offered(p, sim_.now());
+        });
+        core::MaficFilter* raw = filter.get();
+        access.uplink->add_head_filter(std::move(filter));
+        mafic_filters_.push_back(raw);
+        coordinator_->register_actuator(access.router, raw);
+        break;
+      }
+      case DefenseKind::kProportional: {
+        auto filter = std::make_unique<baseline::ProportionalDropper>(
+            cfg_.drop_probability, rng_.split());
+        filter->set_offered_callback([this](const sim::Packet& p) {
+          ledger_.on_defense_offered(p, sim_.now());
+        });
+        baseline::ProportionalDropper* raw = filter.get();
+        access.uplink->add_head_filter(std::move(filter));
+        proportional_filters_.push_back(raw);
+        coordinator_->register_actuator(access.router, raw);
+        break;
+      }
+      case DefenseKind::kAggregate: {
+        auto filter = std::make_unique<baseline::AggregateLimiter>(
+            &sim_, cfg_.aggregate);
+        filter->set_offered_callback([this](const sim::Packet& p) {
+          ledger_.on_defense_offered(p, sim_.now());
+        });
+        baseline::AggregateLimiter* raw = filter.get();
+        access.uplink->add_head_filter(std::move(filter));
+        aggregate_filters_.push_back(raw);
+        coordinator_->register_actuator(access.router, raw);
+        break;
+      }
+      case DefenseKind::kNone:
+        break;
+    }
+  }
+}
+
+std::vector<sim::NodeId> Experiment::ground_truth_atrs() const {
+  std::unordered_set<sim::NodeId> set(zombie_routers_.begin(),
+                                      zombie_routers_.end());
+  return {set.begin(), set.end()};
+}
+
+void Experiment::arm_trigger() {
+  if (cfg_.defense == DefenseKind::kNone ||
+      cfg_.trigger != TriggerMode::kScripted) {
+    return;
+  }
+  sim_.schedule_at(cfg_.scripted_trigger_time, [this] {
+    if (ledger_.triggered()) return;
+    ledger_.set_trigger_time(sim_.now());
+    core::VictimSet victims{domain_->victim_addr()};
+    const bool all = cfg_.atr_scope == AtrScope::kAllIngress;
+    std::unordered_set<sim::NodeId> scope;
+    if (!all) {
+      const auto atrs = ground_truth_atrs();
+      scope.insert(atrs.begin(), atrs.end());
+    }
+    auto in_scope = [&](sim::NodeId router) {
+      return all || scope.contains(router);
+    };
+    for (auto* f : mafic_filters_) {
+      if (in_scope(f->atr_node_id())) f->activate(victims);
+    }
+    for (auto* f : proportional_filters_) {
+      if (in_scope(f->location())) f->activate(victims);
+    }
+    for (auto* f : aggregate_filters_) {
+      if (in_scope(f->location())) f->activate(victims);
+    }
+  });
+}
+
+void Experiment::run_until(double t) {
+  setup();
+  sim_.run_until(t);
+}
+
+ExperimentResult Experiment::run() {
+  setup();
+  sim_.run_until(cfg_.end_time);
+  return snapshot_result();
+}
+
+ExperimentResult Experiment::snapshot_result() const {
+  ExperimentResult r;
+  r.metrics = metrics::compute_metrics(ledger_, cfg_.windows);
+  r.victim_offered_bytes = ledger_.victim_offered_bytes();
+  r.legit_flows = legit_count_;
+  r.attack_flows = attack_count_;
+  r.events_processed = sim_.events_processed();
+
+  for (const auto* f : mafic_filters_) {
+    const auto& ts = f->tables().stats();
+    r.sft_admissions += ts.sft_admissions;
+    r.moved_to_nft += ts.moved_to_nft;
+    r.moved_to_pdt += ts.moved_to_pdt;
+    r.screened_sources += f->stats().screened_sources;
+    r.probes_issued += f->stats().probes_issued;
+  }
+
+  // ATR diagnostics: identified (detector mode) or assumed (scripted).
+  r.atr.ground_truth = ground_truth_atrs();
+  if (cfg_.trigger == TriggerMode::kDetector && coordinator_ != nullptr) {
+    r.atr.identified = coordinator_->active_atrs();
+  } else {
+    for (const auto* f : mafic_filters_) {
+      if (f->active()) r.atr.identified.push_back(f->atr_node_id());
+    }
+    std::sort(r.atr.identified.begin(), r.atr.identified.end());
+    r.atr.identified.erase(
+        std::unique(r.atr.identified.begin(), r.atr.identified.end()),
+        r.atr.identified.end());
+  }
+  std::unordered_set<sim::NodeId> truth(r.atr.ground_truth.begin(),
+                                        r.atr.ground_truth.end());
+  std::size_t hits = 0;
+  for (const auto id : r.atr.identified) {
+    if (truth.contains(id)) ++hits;
+  }
+  if (!r.atr.identified.empty()) {
+    r.atr.precision = double(hits) / double(r.atr.identified.size());
+  }
+  if (!truth.empty()) {
+    r.atr.recall = double(hits) / double(truth.size());
+  }
+  return r;
+}
+
+metrics::Metrics run_averaged(const ExperimentConfig& base, std::size_t seeds,
+                              std::vector<ExperimentResult>* out) {
+  metrics::Metrics sum;
+  sum.alpha = sum.beta = sum.theta_p = sum.theta_n = sum.lr = 0.0;
+  std::size_t alpha_n = 0, beta_n = 0, tp_n = 0, tn_n = 0, lr_n = 0;
+
+  for (std::size_t s = 0; s < seeds; ++s) {
+    ExperimentConfig cfg = base;
+    cfg.seed = base.seed + s * 7919;
+    Experiment exp(cfg);
+    ExperimentResult r = exp.run();
+    const auto& m = r.metrics;
+    if (!std::isnan(m.alpha)) { sum.alpha += m.alpha; ++alpha_n; }
+    if (!std::isnan(m.beta)) { sum.beta += m.beta; ++beta_n; }
+    if (!std::isnan(m.theta_p)) { sum.theta_p += m.theta_p; ++tp_n; }
+    if (!std::isnan(m.theta_n)) { sum.theta_n += m.theta_n; ++tn_n; }
+    if (!std::isnan(m.lr)) { sum.lr += m.lr; ++lr_n; }
+    sum.malicious_offered += m.malicious_offered;
+    sum.malicious_dropped += m.malicious_dropped;
+    sum.malicious_arrived += m.malicious_arrived;
+    sum.legit_offered += m.legit_offered;
+    sum.legit_dropped += m.legit_dropped;
+    sum.legit_pdt_dropped += m.legit_pdt_dropped;
+    sum.total_offered += m.total_offered;
+    sum.triggered = sum.triggered || m.triggered;
+    if (out != nullptr) out->push_back(std::move(r));
+  }
+
+  const auto nan = std::numeric_limits<double>::quiet_NaN();
+  sum.alpha = alpha_n ? sum.alpha / double(alpha_n) : nan;
+  sum.beta = beta_n ? sum.beta / double(beta_n) : nan;
+  sum.theta_p = tp_n ? sum.theta_p / double(tp_n) : nan;
+  sum.theta_n = tn_n ? sum.theta_n / double(tn_n) : nan;
+  sum.lr = lr_n ? sum.lr / double(lr_n) : nan;
+  return sum;
+}
+
+}  // namespace mafic::scenario

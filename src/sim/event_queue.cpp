@@ -1,0 +1,44 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace mafic::sim {
+
+EventId EventQueue::push(SimTime t, EventFn fn) {
+  const EventId id = next_id_++;
+  heap_.push(Item{t, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) { return live_.erase(id) > 0; }
+
+void EventQueue::drop_dead_head() {
+  while (!heap_.empty() && !live_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  const_cast<EventQueue*>(this)->drop_dead_head();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_dead_head();
+  assert(!heap_.empty());
+  const Item& top = heap_.top();
+  Popped out{top.time, top.id, std::move(top.fn)};
+  live_.erase(top.id);
+  heap_.pop();
+  return out;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  live_.clear();
+}
+
+}  // namespace mafic::sim

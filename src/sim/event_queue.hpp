@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file event_queue.hpp
+/// Min-heap event queue. Ties in time are broken by insertion sequence so
+/// runs are deterministic regardless of heap internals. Cancellation is
+/// lazy: cancelled items stay in the heap and are skipped when they surface.
+
+#include <cstdint>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "util/unique_function.hpp"
+
+namespace mafic::sim {
+
+using EventFn = util::UniqueFunction<void()>;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `t`; returns a handle usable with
+  /// cancel(). Handles are unique for the lifetime of the queue.
+  EventId push(SimTime t, EventFn fn);
+
+  /// Lazily cancels a pending event. Returns false (and is harmless) if the
+  /// id already executed, was already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  bool empty() const noexcept { return live_.empty(); }
+  std::size_t size() const noexcept { return live_.size(); }
+
+  /// Time of the earliest live event; empty() must be false.
+  SimTime next_time() const;
+
+  /// Pops the earliest live event. empty() must be false.
+  struct Popped {
+    SimTime time;
+    EventId id;
+    EventFn fn;
+  };
+  Popped pop();
+
+  void clear();
+
+ private:
+  struct Item {
+    SimTime time;
+    EventId id;
+    // mutable so the function can be moved out of the priority_queue's
+    // const top(); the item is popped immediately afterwards.
+    mutable EventFn fn;
+
+    bool operator>(const Item& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  void drop_dead_head();
+
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
+  std::unordered_set<EventId> live_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace mafic::sim

@@ -1,0 +1,103 @@
+#include "sim/link.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace mafic::sim {
+
+void LinkTransmitter::recv(PacketPtr p) { transmit(std::move(p)); }
+
+void LinkTransmitter::attach_queue(PacketQueue* q) {
+  queue_ = q;
+  queue_->set_ready_callback([this] { try_pull(); });
+}
+
+void LinkTransmitter::try_pull() {
+  if (busy_ || queue_ == nullptr) return;
+  if (PacketPtr p = queue_->dequeue()) transmit(std::move(p));
+}
+
+void LinkTransmitter::transmit(PacketPtr p) {
+  assert(!busy_ && "transmitter received a packet while busy");
+  busy_ = true;
+  const double tx_time =
+      static_cast<double>(p->size_bytes) * 8.0 / bandwidth_bps_;
+  sim_->schedule(tx_time, [this, pkt = std::move(p)]() mutable {
+    busy_ = false;
+    ++delivered_;
+    bytes_ += pkt->size_bytes;
+    // Propagation: multiple packets may be in flight simultaneously.
+    sim_->schedule(delay_s_, [this, pkt2 = std::move(pkt)]() mutable {
+      pass(std::move(pkt2));
+    });
+    try_pull();
+  });
+}
+
+SimplexLink::SimplexLink(Simulator* sim, NodeId from, NodeId to, Config cfg)
+    : from_(from),
+      to_(to),
+      cfg_(cfg),
+      queue_(std::make_unique<DropTailQueue>(
+          DropTailQueue::Config{cfg.queue_capacity_packets, 0})),
+      tx_(std::make_unique<LinkTransmitter>(sim, cfg.bandwidth_bps,
+                                            cfg.delay_s)) {
+  queue_->set_location(from);
+  tx_->attach_queue(queue_.get());
+  rechain();
+}
+
+Connector* SimplexLink::entry() noexcept {
+  return heads_.empty() ? static_cast<Connector*>(queue_.get())
+                        : heads_.front().get();
+}
+
+void SimplexLink::set_endpoint(Connector* ep) noexcept {
+  endpoint_ = ep;
+  rechain();
+}
+
+void SimplexLink::add_head_filter(std::unique_ptr<Connector> c) {
+  if (auto* filter = dynamic_cast<InlineFilter*>(c.get())) {
+    filter->set_location(from_);
+    if (drop_handler_) filter->set_drop_handler(drop_handler_);
+  }
+  heads_.push_back(std::move(c));
+  rechain();
+}
+
+void SimplexLink::add_tail_tap(std::unique_ptr<Connector> c) {
+  tails_.push_back(std::move(c));
+  rechain();
+}
+
+void SimplexLink::set_drop_handler(DropHandler h) {
+  drop_handler_ = std::move(h);
+  queue_->set_drop_handler(drop_handler_);
+  for (auto& c : heads_) {
+    if (auto* filter = dynamic_cast<InlineFilter*>(c.get())) {
+      filter->set_drop_handler(drop_handler_);
+    }
+  }
+}
+
+void SimplexLink::rechain() {
+  for (std::size_t i = 0; i + 1 < heads_.size(); ++i) {
+    heads_[i]->set_target(heads_[i + 1].get());
+  }
+  if (!heads_.empty()) heads_.back()->set_target(queue_.get());
+  // The queue's "target" is informational; the transmitter pulls from it.
+  queue_->set_target(tx_.get());
+  // Post-transmission: tx -> tail taps -> endpoint.
+  for (std::size_t i = 0; i + 1 < tails_.size(); ++i) {
+    tails_[i]->set_target(tails_[i + 1].get());
+  }
+  if (tails_.empty()) {
+    tx_->set_target(endpoint_);
+  } else {
+    tx_->set_target(tails_.front().get());
+    tails_.back()->set_target(endpoint_);
+  }
+}
+
+}  // namespace mafic::sim

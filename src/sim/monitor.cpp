@@ -1,0 +1,21 @@
+#include "sim/monitor.hpp"
+
+namespace mafic::sim {
+
+LinkMonitor::LinkMonitor(Simulator* sim, SimplexLink* link, double bin_width)
+    : sim_(sim), series_(bin_width), packet_series_(bin_width) {
+  link->add_head_filter(std::make_unique<TapConnector>(
+      [this](const Packet& p) { observe(p); }));
+}
+
+void LinkMonitor::observe(const Packet& p) {
+  ++packets_;
+  bytes_ += p.size_bytes;
+  series_.add(sim_->now(), static_cast<double>(p.size_bytes));
+  packet_series_.add(sim_->now(), 1.0);
+  auto& fc = flows_[p.flow_id];
+  ++fc.packets;
+  fc.bytes += p.size_bytes;
+}
+
+}  // namespace mafic::sim

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file monitor.hpp
+/// Passive measurement: a LinkMonitor installs a tap at the head of a link
+/// and records packet/byte counts, per-flow totals, and a binned arrival
+/// series (used for Fig. 4(b)'s bandwidth-vs-time plot and for the traffic
+/// reduction metric).
+
+#include <memory>
+#include <unordered_map>
+
+#include "sim/link.hpp"
+#include "util/time_series.hpp"
+
+namespace mafic::sim {
+
+class LinkMonitor {
+ public:
+  struct FlowCounters {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Installs the monitor's tap at the tail of `link`'s head chain, i.e.
+  /// it observes packets that survived any previously installed filters.
+  /// `sim` provides timestamps; `bin_width` sizes the arrival series bins.
+  LinkMonitor(Simulator* sim, SimplexLink* link, double bin_width = 0.05);
+
+  std::uint64_t packets() const noexcept { return packets_; }
+  std::uint64_t bytes() const noexcept { return bytes_; }
+
+  const util::BinnedSeries& byte_series() const noexcept { return series_; }
+  const util::BinnedSeries& packet_series() const noexcept {
+    return packet_series_;
+  }
+
+  const std::unordered_map<FlowId, FlowCounters>& per_flow() const noexcept {
+    return flows_;
+  }
+
+ private:
+  void observe(const Packet& p);
+
+  Simulator* sim_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+  util::BinnedSeries series_;
+  util::BinnedSeries packet_series_;
+  std::unordered_map<FlowId, FlowCounters> flows_;
+};
+
+}  // namespace mafic::sim

@@ -1,0 +1,92 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace mafic::sim {
+
+Node* Network::add_node(util::Addr addr, NodeKind kind) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(sim_, id, addr, kind));
+  by_addr_[addr] = id;
+  if (drop_handler_) nodes_.back()->set_drop_handler(drop_handler_);
+  return nodes_.back().get();
+}
+
+SimplexLink* Network::add_simplex(NodeId from, NodeId to,
+                                  SimplexLink::Config cfg) {
+  assert(from < nodes_.size() && to < nodes_.size());
+  links_.push_back(std::make_unique<SimplexLink>(sim_, from, to, cfg));
+  SimplexLink* l = links_.back().get();
+  l->set_endpoint(nodes_[to]->entry());
+  if (drop_handler_) l->set_drop_handler(drop_handler_);
+  by_endpoints_[link_key(from, to)] = l;
+  return l;
+}
+
+std::pair<SimplexLink*, SimplexLink*> Network::add_duplex(
+    NodeId a, NodeId b, SimplexLink::Config cfg) {
+  return {add_simplex(a, b, cfg), add_simplex(b, a, cfg)};
+}
+
+Node* Network::node_by_addr(util::Addr a) noexcept {
+  const auto it = by_addr_.find(a);
+  return it == by_addr_.end() ? nullptr : nodes_[it->second].get();
+}
+
+SimplexLink* Network::find_link(NodeId from, NodeId to) noexcept {
+  const auto it = by_endpoints_.find(link_key(from, to));
+  return it == by_endpoints_.end() ? nullptr : it->second;
+}
+
+void Network::build_routes() {
+  const std::size_t n = nodes_.size();
+
+  // Adjacency: out-links per node.
+  std::vector<std::vector<SimplexLink*>> out(n);
+  for (const auto& l : links_) out[l->from()].push_back(l.get());
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Dijkstra from every source. Domain sizes here are a few hundred nodes,
+  // so O(V * E log V) is entirely fine.
+  for (std::size_t src = 0; src < n; ++src) {
+    std::vector<double> dist(n, kInf);
+    std::vector<SimplexLink*> first_hop(n, nullptr);
+    using Entry = std::pair<double, NodeId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+
+    dist[src] = 0.0;
+    pq.emplace(0.0, static_cast<NodeId>(src));
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[u]) continue;
+      for (SimplexLink* l : out[u]) {
+        const NodeId v = l->to();
+        const double nd = d + l->config().delay_s;
+        if (nd < dist[v]) {
+          dist[v] = nd;
+          first_hop[v] = (u == src) ? l : first_hop[u];
+          pq.emplace(nd, v);
+        }
+      }
+    }
+
+    Node& s = *nodes_[src];
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      if (dst == src || first_hop[dst] == nullptr) continue;
+      s.add_route(nodes_[dst]->addr(), first_hop[dst]);
+    }
+  }
+}
+
+void Network::set_drop_handler(DropHandler h) {
+  drop_handler_ = std::move(h);
+  for (auto& node : nodes_) node->set_drop_handler(drop_handler_);
+  for (auto& link : links_) link->set_drop_handler(drop_handler_);
+}
+
+}  // namespace mafic::sim

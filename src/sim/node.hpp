@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file node.hpp
+/// Hosts and routers. A node owns an address, a port-demux table for local
+/// agents, and a next-hop route table (destination address -> outgoing
+/// simplex link) filled in by the static routing computation.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/connector.hpp"
+#include "sim/link.hpp"
+#include "sim/packet.hpp"
+#include "sim/types.hpp"
+#include "util/ip.hpp"
+
+namespace mafic::sim {
+
+enum class NodeKind : std::uint8_t { kHost, kRouter };
+
+/// Anything that can receive locally delivered packets (transport agents).
+class PacketHandler {
+ public:
+  virtual ~PacketHandler() = default;
+  virtual void recv(PacketPtr p) = 0;
+};
+
+class Node {
+ public:
+  Node(Simulator* sim, NodeId id, util::Addr addr, NodeKind kind);
+
+  NodeId id() const noexcept { return id_; }
+  util::Addr addr() const noexcept { return addr_; }
+  NodeKind kind() const noexcept { return kind_; }
+  bool is_router() const noexcept { return kind_ == NodeKind::kRouter; }
+
+  /// Binds an agent to a local port (non-owning). Replaces any previous
+  /// binding on that port.
+  void bind_port(std::uint16_t port, PacketHandler* handler);
+  void unbind_port(std::uint16_t port);
+
+  /// Routing table management (normally done by Network::build_routes).
+  void add_route(util::Addr dst, SimplexLink* out);
+  void set_default_route(SimplexLink* out) noexcept { default_route_ = out; }
+  SimplexLink* route_for(util::Addr dst) const noexcept;
+  std::size_t route_count() const noexcept { return routes_.size(); }
+
+  /// Origination or forwarding: looks up the route and pushes the packet
+  /// into the outgoing link. Local destinations are delivered directly.
+  void send(PacketPtr p);
+
+  /// Arrival from a link (or loopback). Delivers locally or forwards.
+  void handle_packet(PacketPtr p);
+
+  /// Ingress connector handed to incoming links as their endpoint.
+  Connector* entry() noexcept { return &entry_; }
+
+  void set_drop_handler(DropHandler h) { drop_handler_ = std::move(h); }
+
+  struct Stats {
+    std::uint64_t originated = 0;
+    std::uint64_t forwarded = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped_no_route = 0;
+    std::uint64_t dropped_ttl = 0;
+    std::uint64_t dropped_unbound = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  class Entry final : public Connector {
+   public:
+    explicit Entry(Node* n) : node_(n) {}
+    void recv(PacketPtr p) override { node_->handle_packet(std::move(p)); }
+
+   private:
+    Node* node_;
+  };
+
+  void deliver_local(PacketPtr p);
+  void drop(const Packet& p, DropReason r);
+
+  Simulator* sim_;
+  NodeId id_;
+  util::Addr addr_;
+  NodeKind kind_;
+  Entry entry_;
+  std::unordered_map<std::uint16_t, PacketHandler*> ports_;
+  std::unordered_map<util::Addr, SimplexLink*> routes_;
+  SimplexLink* default_route_ = nullptr;
+  DropHandler drop_handler_;
+  Stats stats_;
+};
+
+}  // namespace mafic::sim

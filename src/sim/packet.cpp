@@ -1,0 +1,55 @@
+#include "sim/packet.hpp"
+
+#include <cstdio>
+#include <new>
+#include <vector>
+
+namespace mafic::sim {
+
+namespace {
+// Single-threaded simulator: a plain static freelist suffices. Slots are
+// raw storage of exactly sizeof(Packet).
+std::vector<void*>& freelist() {
+  static std::vector<void*> list;
+  return list;
+}
+}  // namespace
+
+void* Packet::operator new(std::size_t size) {
+  auto& list = freelist();
+  if (size == sizeof(Packet) && !list.empty()) {
+    void* p = list.back();
+    list.pop_back();
+    return p;
+  }
+  return ::operator new(size);
+}
+
+void Packet::operator delete(void* p) noexcept {
+  if (p == nullptr) return;
+  auto& list = freelist();
+  // Bound the cache so pathological bursts don't pin memory forever.
+  constexpr std::size_t kMaxCached = 1 << 16;
+  if (list.size() < kMaxCached) {
+    list.push_back(p);
+  } else {
+    ::operator delete(p);
+  }
+}
+
+std::size_t Packet::freelist_size() noexcept { return freelist().size(); }
+
+void Packet::trim_freelist() noexcept {
+  for (void* p : freelist()) ::operator delete(p);
+  freelist().clear();
+}
+
+std::string format_label(const FlowLabel& l) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s:%u>%s:%u",
+                util::format_addr(l.src).c_str(), l.sport,
+                util::format_addr(l.dst).c_str(), l.dport);
+  return buf;
+}
+
+}  // namespace mafic::sim

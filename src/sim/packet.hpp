@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file packet.hpp
+/// Simulated packets. One flat struct carries the union of fields the
+/// library needs (IP 4-tuple label, TCP sequence/ACK/flags, timestamp
+/// option); unused fields stay zero. Packets are heap objects recycled
+/// through a freelist to keep the event loop allocation-free in steady
+/// state.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/types.hpp"
+#include "util/hash.hpp"
+#include "util/ip.hpp"
+
+namespace mafic::sim {
+
+/// The 4-tuple flow label the paper uses to mark each flow in the SFT, NFT
+/// and PDT (section III-B). Source addresses may be spoofed; the label is
+/// still what identifies "a flow" to the defense.
+struct FlowLabel {
+  util::Addr src = util::kInvalidAddr;
+  util::Addr dst = util::kInvalidAddr;
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+
+  friend bool operator==(const FlowLabel&, const FlowLabel&) = default;
+
+  /// Label of the reverse direction (used to craft probe ACKs).
+  FlowLabel reversed() const noexcept { return {dst, src, dport, sport}; }
+};
+
+/// 64-bit hash of the label — this is what the flow tables store instead of
+/// the label itself (paper section III-B, "we store only the output of a
+/// hash function").
+constexpr std::uint64_t hash_label(const FlowLabel& l) noexcept {
+  std::uint64_t h = util::mix64((static_cast<std::uint64_t>(l.src) << 32) |
+                                static_cast<std::uint64_t>(l.dst));
+  return util::hash_combine(
+      h, (static_cast<std::uint64_t>(l.sport) << 16) | l.dport);
+}
+
+std::string format_label(const FlowLabel& l);
+
+/// TCP header flags (bitmask).
+namespace tcp_flags {
+constexpr std::uint8_t kSyn = 0x1;
+constexpr std::uint8_t kAck = 0x2;
+constexpr std::uint8_t kFin = 0x4;
+constexpr std::uint8_t kRst = 0x8;
+}  // namespace tcp_flags
+
+struct Packet {
+  std::uint64_t uid = 0;  ///< globally unique per simulation (sketch input)
+  FlowLabel label;
+  Protocol proto = Protocol::kUdp;
+  std::uint32_t size_bytes = 0;
+
+  // --- TCP-ish fields (packet-granularity sequence space, NS-2 style) ---
+  std::uint32_t seq = 0;
+  std::uint32_t ack_no = 0;
+  std::uint8_t flags = 0;
+
+  // --- Timestamp option (TSval / TSecr), used for router RTT estimation ---
+  double tsval = 0.0;
+  double tsecr = 0.0;
+
+  double sent_time = 0.0;  ///< origination time (tracing)
+  std::uint8_t ttl = 64;
+
+  /// True for defense-crafted probe duplicate ACKs (tracing/overhead
+  /// accounting only; endpoints treat probes as ordinary ACKs).
+  bool probe = false;
+
+  /// Metrics side channel: which traffic source emitted this packet. The
+  /// defense must never read it; the ledger keys ground truth off it.
+  FlowId flow_id = kUntrackedFlow;
+
+  bool has_flag(std::uint8_t f) const noexcept { return (flags & f) != 0; }
+  bool is_ack_only(std::uint32_t data_size = 0) const noexcept {
+    return proto == Protocol::kTcp && has_flag(tcp_flags::kAck) &&
+           size_bytes <= data_size;
+  }
+
+  // Freelist recycling: Packet is allocated/released on the hot path for
+  // every simulated packet; the freelist removes malloc/free churn.
+  static void* operator new(std::size_t size);
+  static void operator delete(void* p) noexcept;
+  static std::size_t freelist_size() noexcept;
+  static void trim_freelist() noexcept;
+};
+
+using PacketPtr = std::unique_ptr<Packet>;
+
+/// Stamps fresh packets with unique uids. One factory per simulation.
+class PacketFactory {
+ public:
+  PacketPtr make() {
+    auto p = std::make_unique<Packet>();
+    p->uid = next_uid_++;
+    return p;
+  }
+
+  /// Copy with a fresh uid (retransmissions are distinct packets on the
+  /// wire, which matters for distinct-packet counting sketches).
+  PacketPtr clone(const Packet& original) {
+    auto p = std::make_unique<Packet>(original);
+    p->uid = next_uid_++;
+    return p;
+  }
+
+  std::uint64_t issued() const noexcept { return next_uid_ - 1; }
+
+ private:
+  std::uint64_t next_uid_ = 1;
+};
+
+}  // namespace mafic::sim

@@ -1,0 +1,32 @@
+#include "sim/simulator.hpp"
+
+namespace mafic::sim {
+
+std::size_t Simulator::run() {
+  stopped_ = false;
+  std::size_t n = 0;
+  while (!queue_.empty() && !stopped_) {
+    auto ev = queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++n;
+  }
+  processed_ += n;
+  return n;
+}
+
+std::size_t Simulator::run_until(SimTime t) {
+  stopped_ = false;
+  std::size_t n = 0;
+  while (!queue_.empty() && !stopped_ && queue_.next_time() <= t) {
+    auto ev = queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++n;
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+  processed_ += n;
+  return n;
+}
+
+}  // namespace mafic::sim

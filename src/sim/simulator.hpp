@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file simulator.hpp
+/// The discrete-event simulation kernel. Components hold a Simulator* and
+/// schedule work with schedule()/schedule_at(); nothing in the library uses
+/// global state, so independent simulations can coexist in one process.
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "sim/types.hpp"
+
+namespace mafic::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` after `delay` seconds (clamped to now for negatives).
+  EventId schedule(SimTime delay, EventFn fn) {
+    return schedule_at(delay > 0 ? now_ + delay : now_, std::move(fn));
+  }
+
+  /// Schedules `fn` at absolute time `t` (clamped to now if in the past).
+  EventId schedule_at(SimTime t, EventFn fn) {
+    return queue_.push(t < now_ ? now_ : t, std::move(fn));
+  }
+
+  /// Cancels a pending event; safe to call with stale ids.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the queue drains or stop() is called. Returns the number of
+  /// events processed.
+  std::size_t run();
+
+  /// Processes every event with time <= t, then advances the clock to t.
+  std::size_t run_until(SimTime t);
+
+  /// Requests that run()/run_until() return after the current event.
+  void stop() noexcept { stopped_ = true; }
+
+  bool pending() const noexcept { return !queue_.empty(); }
+  std::size_t pending_count() const noexcept { return queue_.size(); }
+  std::uint64_t events_processed() const noexcept { return processed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  bool stopped_ = false;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace mafic::sim

@@ -1,0 +1,63 @@
+#include "sim/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace mafic::sim {
+
+namespace {
+void format_flags(const Packet& p, char out[5]) {
+  out[0] = p.has_flag(tcp_flags::kSyn) ? 'S' : '-';
+  out[1] = p.has_flag(tcp_flags::kFin) ? 'F' : '-';
+  out[2] = p.probe ? 'P' : '-';
+  out[3] = p.has_flag(tcp_flags::kAck) ? 'A' : '-';
+  out[4] = '\0';
+}
+}  // namespace
+
+void TraceWriter::record(TraceEvent ev, double time, NodeId from, NodeId to,
+                         const Packet& p, const char* annotation) {
+  ++events_;
+  if (line_limit_ != 0 && lines_ >= line_limit_) return;
+  if (out_ == nullptr) return;
+
+  char flags[5];
+  format_flags(p, flags);
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%c %.6f %u %u %s %u %s %u %s:%u %s:%u %u %" PRIu64,
+                static_cast<char>(ev), time, from, to, to_string(p.proto),
+                p.size_bytes, flags, p.flow_id,
+                util::format_addr(p.label.src).c_str(), p.label.sport,
+                util::format_addr(p.label.dst).c_str(), p.label.dport,
+                p.seq, p.uid);
+  (*out_) << line;
+  if (annotation != nullptr && annotation[0] != '\0') {
+    (*out_) << ' ' << annotation;
+  }
+  (*out_) << '\n';
+  ++lines_;
+}
+
+DropHandler trace_drop_handler(TraceWriter* writer, Simulator* sim) {
+  return [writer, sim](const Packet& p, DropReason r, NodeId where) {
+    writer->record(TraceEvent::kDrop, sim->now(), where, kInvalidNode, p,
+                   to_string(r));
+  };
+}
+
+LinkTracer::LinkTracer(Simulator* sim, SimplexLink* link,
+                       TraceWriter* writer) {
+  const NodeId from = link->from();
+  const NodeId to = link->to();
+  link->add_head_filter(std::make_unique<TapConnector>(
+      [writer, sim, from, to](const Packet& p) {
+        writer->record(TraceEvent::kEnqueue, sim->now(), from, to, p);
+      }));
+  link->add_tail_tap(std::make_unique<TapConnector>(
+      [writer, sim, from, to](const Packet& p) {
+        writer->record(TraceEvent::kReceive, sim->now(), from, to, p);
+      }));
+}
+
+}  // namespace mafic::sim

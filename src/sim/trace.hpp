@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file trace.hpp
+/// NS-2-style packet event tracing. A TraceWriter renders one text line per
+/// event ('+' enqueue at a link, 'r' received across it, 'd' dropped),
+/// which is the format generations of NS-2 tooling parsed:
+///
+///   + 2.701234 3 7 tcp 1000 ---A 12 172.16.0.5:5000 172.17.0.1:2042 417 88213
+///   d 2.701240 3 7 tcp 1000 ---A 12 172.16.0.5:5000 172.17.0.1:2042 417 88213 defense-probe
+///
+/// LinkTracer instruments one SimplexLink; trace_drop_handler() adapts a
+/// TraceWriter into a DropHandler that can be composed with the metrics
+/// ledger's handler.
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "sim/connector.hpp"
+#include "sim/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace mafic::sim {
+
+enum class TraceEvent : char {
+  kEnqueue = '+',  ///< packet entered the link's head
+  kReceive = 'r',  ///< packet delivered across the link
+  kDrop = 'd',     ///< packet discarded
+};
+
+class TraceWriter {
+ public:
+  /// Writes to `out`, which must outlive the writer (typically an
+  /// std::ofstream owned by the experiment driver).
+  explicit TraceWriter(std::ostream* out) : out_(out) {}
+
+  void record(TraceEvent ev, double time, NodeId from, NodeId to,
+              const Packet& p, const char* annotation = nullptr);
+
+  /// Limits output to the first `n` lines (0 = unlimited); further events
+  /// are counted but not written. Keeps giant simulations traceable.
+  void set_line_limit(std::uint64_t n) noexcept { line_limit_ = n; }
+
+  std::uint64_t events_recorded() const noexcept { return events_; }
+  std::uint64_t lines_written() const noexcept { return lines_; }
+
+ private:
+  std::ostream* out_;
+  std::uint64_t events_ = 0;
+  std::uint64_t lines_ = 0;
+  std::uint64_t line_limit_ = 0;
+};
+
+/// Adapts a TraceWriter into a DropHandler ('d' records). Compose with
+/// other handlers by invoking both from a wrapping lambda.
+DropHandler trace_drop_handler(TraceWriter* writer, Simulator* sim);
+
+/// Installs '+' (head) and 'r' (post-transmission) taps on a link.
+class LinkTracer {
+ public:
+  LinkTracer(Simulator* sim, SimplexLink* link, TraceWriter* writer);
+};
+
+}  // namespace mafic::sim

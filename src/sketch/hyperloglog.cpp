@@ -1,0 +1,79 @@
+#include "sketch/hyperloglog.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace mafic::sketch {
+
+namespace {
+double hll_alpha(std::size_t m) noexcept {
+  switch (m) {
+    case 16:
+      return 0.673;
+    case 32:
+      return 0.697;
+    case 64:
+      return 0.709;
+    default:
+      return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+  }
+}
+}  // namespace
+
+HyperLogLog::HyperLogLog(unsigned precision_bits, std::uint64_t hash_seed)
+    : precision_bits_(precision_bits),
+      hash_seed_(hash_seed),
+      registers_(std::size_t{1} << precision_bits, 0),
+      alpha_m_(hll_alpha(std::size_t{1} << precision_bits)) {
+  if (precision_bits < 4 || precision_bits > 20) {
+    throw std::invalid_argument(
+        "HyperLogLog precision_bits must be in [4, 20]");
+  }
+}
+
+void HyperLogLog::add(std::uint64_t item) noexcept {
+  const std::uint64_t h = util::seeded_hash(hash_seed_, item);
+  const std::size_t bucket = h >> (64 - precision_bits_);
+  const std::uint64_t rest = h << precision_bits_;
+  const int rank = rest == 0 ? static_cast<int>(64 - precision_bits_) + 1
+                             : std::countl_zero(rest) + 1;
+  auto& reg = registers_[bucket];
+  reg = std::max(reg, static_cast<std::uint8_t>(rank));
+  ++items_added_;
+}
+
+double HyperLogLog::estimate() const noexcept {
+  const auto m = static_cast<double>(registers_.size());
+  double harmonic = 0.0;
+  std::size_t zeros = 0;
+  for (const auto r : registers_) {
+    harmonic += std::exp2(-static_cast<double>(r));
+    if (r == 0) ++zeros;
+  }
+  double e = alpha_m_ * m * m / harmonic;
+  // Small-range correction: linear counting when registers are sparse.
+  if (e <= 2.5 * m && zeros > 0) {
+    e = m * std::log(m / static_cast<double>(zeros));
+  }
+  return e;
+}
+
+void HyperLogLog::merge(const HyperLogLog& other) {
+  if (!compatible(other)) {
+    throw std::invalid_argument("merging incompatible HyperLogLog counters");
+  }
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+  items_added_ += other.items_added_;
+}
+
+double HyperLogLog::union_estimate(const HyperLogLog& a,
+                                   const HyperLogLog& b) {
+  HyperLogLog u = a;
+  u.merge(b);
+  return u.estimate();
+}
+
+}  // namespace mafic::sketch

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file router_tap.hpp
+/// The paper's `LogLogCounter` Connector: installed at the head of access
+/// SimplexLinks so routers record the packet sets entering (Si) and leaving
+/// (Dj) the core. These helpers wire TapConnectors to a RouterSketchBank
+/// (and optionally an ExactSketchBank for ground truth).
+
+#include "sim/link.hpp"
+#include "sketch/traffic_matrix.hpp"
+
+namespace mafic::sketch {
+
+/// Records packets traversing `access_link` (host -> router) into the
+/// S-sketch of `router`.
+inline void attach_ingress_counter(sim::SimplexLink* access_link,
+                                   sim::NodeId router, RouterSketchBank* bank,
+                                   ExactSketchBank* exact = nullptr) {
+  access_link->add_head_filter(std::make_unique<sim::TapConnector>(
+      [bank, exact, router](const sim::Packet& p) {
+        bank->record_ingress(router, p.uid);
+        if (exact != nullptr) exact->record_ingress(router, p.uid);
+      }));
+}
+
+/// Records packets traversing `access_link` (router -> host) into the
+/// D-sketch of `router`.
+inline void attach_egress_counter(sim::SimplexLink* access_link,
+                                  sim::NodeId router, RouterSketchBank* bank,
+                                  ExactSketchBank* exact = nullptr) {
+  access_link->add_head_filter(std::make_unique<sim::TapConnector>(
+      [bank, exact, router](const sim::Packet& p) {
+        bank->record_egress(router, p.uid);
+        if (exact != nullptr) exact->record_egress(router, p.uid);
+      }));
+}
+
+}  // namespace mafic::sketch

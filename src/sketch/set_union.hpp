@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file set_union.hpp
+/// Set-algebra estimators over mergeable cardinality sketches. The pushback
+/// scheme (paper section II) computes the traffic-matrix entry
+///   a_ij = |Si ∩ Dj| = |Si| + |Dj| − |Si ∪ Dj|
+/// where the union cardinality comes from the distributed max-merge of the
+/// two routers' counters.
+
+#include <algorithm>
+
+namespace mafic::sketch {
+
+/// Inclusion–exclusion intersection estimate; clamped at zero because
+/// sketch noise can push the raw value slightly negative.
+template <typename Counter>
+double intersection_estimate(const Counter& a, const Counter& b) {
+  const double ea = a.estimate();
+  const double eb = b.estimate();
+  const double eu = Counter::union_estimate(a, b);
+  return std::max(0.0, ea + eb - eu);
+}
+
+/// Jaccard-style overlap fraction (intersection / union); in [0, 1] up to
+/// estimator noise. Used by tests and diagnostics.
+template <typename Counter>
+double overlap_fraction(const Counter& a, const Counter& b) {
+  const double eu = Counter::union_estimate(a, b);
+  if (eu <= 0.0) return 0.0;
+  return std::clamp(intersection_estimate(a, b) / eu, 0.0, 1.0);
+}
+
+}  // namespace mafic::sketch

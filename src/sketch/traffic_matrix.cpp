@@ -1,0 +1,104 @@
+#include "sketch/traffic_matrix.hpp"
+
+namespace mafic::sketch {
+
+RouterSketchBank::RouterSketchBank(std::size_t router_count,
+                                   unsigned precision_bits,
+                                   std::uint64_t hash_seed) {
+  s_.reserve(router_count);
+  d_.reserve(router_count);
+  for (std::size_t i = 0; i < router_count; ++i) {
+    s_.emplace_back(precision_bits, hash_seed);
+    d_.emplace_back(precision_bits, hash_seed);
+  }
+}
+
+void RouterSketchBank::record_ingress(sim::NodeId router, std::uint64_t uid) {
+  s_.at(router).add(uid);
+}
+
+void RouterSketchBank::record_egress(sim::NodeId router, std::uint64_t uid) {
+  d_.at(router).add(uid);
+}
+
+void RouterSketchBank::reset() noexcept {
+  for (auto& c : s_) c.reset();
+  for (auto& c : d_) c.reset();
+}
+
+std::size_t RouterSketchBank::memory_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& c : s_) total += c.memory_bytes();
+  for (const auto& c : d_) total += c.memory_bytes();
+  return total;
+}
+
+double ExactSketchBank::intersection(sim::NodeId i, sim::NodeId j) const {
+  const auto& a = s_.at(i);
+  const auto& b = d_.at(j);
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  std::size_t n = 0;
+  for (const auto uid : small) {
+    if (large.contains(uid)) ++n;
+  }
+  return static_cast<double>(n);
+}
+
+void ExactSketchBank::reset() noexcept {
+  for (auto& set : s_) set.clear();
+  for (auto& set : d_) set.clear();
+}
+
+std::vector<double> TrafficMatrixSnapshot::column(sim::NodeId j) const {
+  std::vector<double> col(s.size(), 0.0);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    col[i] = a(static_cast<sim::NodeId>(i), j);
+  }
+  return col;
+}
+
+TrafficMonitor::TrafficMonitor(sim::Simulator* sim, RouterSketchBank* bank,
+                               double epoch_seconds)
+    : sim_(sim), bank_(bank), epoch_seconds_(epoch_seconds) {}
+
+void TrafficMonitor::start() {
+  if (running_) return;
+  running_ = true;
+  epoch_start_ = sim_->now();
+  timer_ = sim_->schedule(epoch_seconds_, [this] { tick(); });
+}
+
+void TrafficMonitor::stop() {
+  running_ = false;
+  if (timer_ != sim::kInvalidEvent) {
+    sim_->cancel(timer_);
+    timer_ = sim::kInvalidEvent;
+  }
+}
+
+void TrafficMonitor::tick() {
+  timer_ = sim::kInvalidEvent;
+  if (!running_) return;
+
+  TrafficMatrixSnapshot snap;
+  snap.epoch_start = epoch_start_;
+  snap.epoch_end = sim_->now();
+  snap.epoch_index = epoch_index_++;
+  snap.s.reserve(bank_->router_count());
+  snap.d.reserve(bank_->router_count());
+  for (std::size_t i = 0; i < bank_->router_count(); ++i) {
+    snap.s.push_back(bank_->s(static_cast<sim::NodeId>(i)));
+    snap.d.push_back(bank_->d(static_cast<sim::NodeId>(i)));
+  }
+  bank_->reset();
+  epoch_start_ = sim_->now();
+
+  for (const auto& cb : callbacks_) cb(snap);
+
+  if (running_) {
+    timer_ = sim_->schedule(epoch_seconds_, [this] { tick(); });
+  }
+}
+
+}  // namespace mafic::sketch

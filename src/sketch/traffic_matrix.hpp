@@ -1,0 +1,130 @@
+#pragma once
+
+/// \file traffic_matrix.hpp
+/// Per-router packet-set sketches and the epoch-based traffic monitor.
+///
+/// Si = packets injected into the core at router i (recorded on access
+/// links host->router); Dj = packets leaving the core at router j (recorded
+/// on access links router->host). Every epoch the TrafficMonitor snapshots
+/// all counters, hands the snapshot to its subscriber (the pushback victim
+/// detector), and resets for the next epoch — matching the paper's
+/// "TrafficMonitor ... for each time period ... computes the traffic matrix
+/// for this time period".
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+#include "sketch/loglog.hpp"
+#include "sketch/set_union.hpp"
+
+namespace mafic::sketch {
+
+/// Holds one S and one D LogLog counter per router, all mutually
+/// compatible (same precision, same seed) so any pair can be max-merged.
+class RouterSketchBank {
+ public:
+  RouterSketchBank(std::size_t router_count, unsigned precision_bits,
+                   std::uint64_t hash_seed);
+
+  void record_ingress(sim::NodeId router, std::uint64_t packet_uid);
+  void record_egress(sim::NodeId router, std::uint64_t packet_uid);
+
+  const LogLog& s(sim::NodeId router) const { return s_.at(router); }
+  const LogLog& d(sim::NodeId router) const { return d_.at(router); }
+
+  std::size_t router_count() const noexcept { return s_.size(); }
+  void reset() noexcept;
+
+  /// Total sketch memory across all routers (both directions).
+  std::size_t memory_bytes() const noexcept;
+
+ private:
+  std::vector<LogLog> s_;
+  std::vector<LogLog> d_;
+};
+
+/// Exact mirror of RouterSketchBank used for ground truth in tests and for
+/// the sketch-error ablation (A2). Stores packet uids in hash sets.
+class ExactSketchBank {
+ public:
+  explicit ExactSketchBank(std::size_t router_count)
+      : s_(router_count), d_(router_count) {}
+
+  void record_ingress(sim::NodeId router, std::uint64_t uid) {
+    s_.at(router).insert(uid);
+  }
+  void record_egress(sim::NodeId router, std::uint64_t uid) {
+    d_.at(router).insert(uid);
+  }
+
+  double s_count(sim::NodeId i) const { return double(s_.at(i).size()); }
+  double d_count(sim::NodeId j) const { return double(d_.at(j).size()); }
+  double intersection(sim::NodeId i, sim::NodeId j) const;
+
+  void reset() noexcept;
+
+ private:
+  std::vector<std::unordered_set<std::uint64_t>> s_;
+  std::vector<std::unordered_set<std::uint64_t>> d_;
+};
+
+/// Frozen copy of one epoch's counters with matrix accessors.
+struct TrafficMatrixSnapshot {
+  double epoch_start = 0.0;
+  double epoch_end = 0.0;
+  std::uint64_t epoch_index = 0;
+  std::vector<LogLog> s;
+  std::vector<LogLog> d;
+
+  double s_count(sim::NodeId i) const { return s.at(i).estimate(); }
+  double d_count(sim::NodeId j) const { return d.at(j).estimate(); }
+
+  /// a_ij = |Si| + |Dj| − |Si ∪ Dj|, clamped at 0.
+  double a(sim::NodeId i, sim::NodeId j) const {
+    return intersection_estimate(s.at(i), d.at(j));
+  }
+
+  /// Full column j (destination = victim's last-hop router).
+  std::vector<double> column(sim::NodeId j) const;
+
+  double duration() const noexcept { return epoch_end - epoch_start; }
+};
+
+/// Periodically snapshots a RouterSketchBank and notifies a subscriber.
+class TrafficMonitor {
+ public:
+  using EpochCallback = std::function<void(const TrafficMatrixSnapshot&)>;
+
+  TrafficMonitor(sim::Simulator* sim, RouterSketchBank* bank,
+                 double epoch_seconds);
+  ~TrafficMonitor() { stop(); }
+
+  TrafficMonitor(const TrafficMonitor&) = delete;
+  TrafficMonitor& operator=(const TrafficMonitor&) = delete;
+
+  void subscribe(EpochCallback cb) { callbacks_.push_back(std::move(cb)); }
+
+  void start();
+  void stop();
+  bool running() const noexcept { return running_; }
+  std::uint64_t epochs_completed() const noexcept { return epoch_index_; }
+  double epoch_seconds() const noexcept { return epoch_seconds_; }
+
+ private:
+  void tick();
+
+  sim::Simulator* sim_;
+  RouterSketchBank* bank_;
+  double epoch_seconds_;
+  std::vector<EpochCallback> callbacks_;
+  bool running_ = false;
+  sim::EventId timer_ = sim::kInvalidEvent;
+  std::uint64_t epoch_index_ = 0;
+  double epoch_start_ = 0.0;
+};
+
+}  // namespace mafic::sketch

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file agent.hpp
+/// Transport agents: protocol endpoints bound to a node+port. Agents build
+/// packets through the experiment's PacketFactory so every packet gets a
+/// unique uid (which the distinct-counting sketches rely on).
+
+#include <cstdint>
+
+#include "sim/network.hpp"
+#include "sim/node.hpp"
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace mafic::transport {
+
+class Agent : public sim::PacketHandler {
+ public:
+  Agent(sim::Simulator* sim, sim::PacketFactory* factory, sim::Node* node,
+        std::uint16_t port)
+      : sim_(sim), factory_(factory), node_(node), port_(port) {
+    node_->bind_port(port_, this);
+  }
+
+  ~Agent() override {
+    if (node_ != nullptr) node_->unbind_port(port_);
+  }
+
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+
+  /// Sets the remote endpoint; the flow label becomes fully defined.
+  void connect(util::Addr raddr, std::uint16_t rport) {
+    raddr_ = raddr;
+    rport_ = rport;
+  }
+
+  /// Metrics-only flow id stamped on every emitted packet.
+  void set_flow_id(sim::FlowId id) noexcept { flow_id_ = id; }
+  sim::FlowId flow_id() const noexcept { return flow_id_; }
+
+  sim::FlowLabel label() const noexcept {
+    return {node_->addr(), raddr_, port_, rport_};
+  }
+
+  sim::Node* node() noexcept { return node_; }
+  std::uint16_t port() const noexcept { return port_; }
+
+ protected:
+  /// Allocates a fresh packet pre-stamped with label/flow-id/time.
+  sim::PacketPtr make_packet() {
+    auto p = factory_->make();
+    p->label = label();
+    p->flow_id = flow_id_;
+    p->sent_time = sim_->now();
+    return p;
+  }
+
+  void inject(sim::PacketPtr p) { node_->send(std::move(p)); }
+
+  sim::Simulator* sim_;
+  sim::PacketFactory* factory_;
+  sim::Node* node_;
+  std::uint16_t port_;
+  util::Addr raddr_ = util::kInvalidAddr;
+  std::uint16_t rport_ = 0;
+  sim::FlowId flow_id_ = sim::kUntrackedFlow;
+};
+
+}  // namespace mafic::transport

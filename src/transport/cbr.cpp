@@ -1,0 +1,39 @@
+#include "transport/cbr.hpp"
+
+#include <algorithm>
+
+namespace mafic::transport {
+
+void CbrSource::start() {
+  if (running_) return;
+  running_ = true;
+  // First emission staggered within one interval so simultaneous starts
+  // don't synchronize.
+  timer_ = sim_->schedule(rng_.uniform01() * next_interval(),
+                          [this] { tick(); });
+}
+
+void CbrSource::stop() {
+  running_ = false;
+  if (timer_ != sim::kInvalidEvent) {
+    sim_->cancel(timer_);
+    timer_ = sim::kInvalidEvent;
+  }
+}
+
+void CbrSource::tick() {
+  timer_ = sim::kInvalidEvent;
+  if (!running_) return;
+  send_datagram(cfg_.packet_bytes);
+  timer_ = sim_->schedule(next_interval(), [this] { tick(); });
+}
+
+double CbrSource::next_interval() {
+  const double base =
+      static_cast<double>(cfg_.packet_bytes) * 8.0 / cfg_.rate_bps;
+  if (cfg_.jitter_fraction <= 0.0) return base;
+  const double j = cfg_.jitter_fraction;
+  return std::max(1e-6, base * rng_.uniform(1.0 - j, 1.0 + j));
+}
+
+}  // namespace mafic::transport

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file cbr.hpp
+/// Constant-bit-rate source over UDP with optional inter-packet jitter
+/// (to avoid phase locking between many concurrent sources).
+
+#include "transport/udp.hpp"
+#include "util/rng.hpp"
+
+namespace mafic::transport {
+
+class CbrSource : public UdpSender {
+ public:
+  struct Config {
+    double rate_bps = 500e3;
+    std::uint32_t packet_bytes = 1000;
+    double jitter_fraction = 0.1;  ///< uniform +/- fraction of the interval
+  };
+
+  CbrSource(sim::Simulator* sim, sim::PacketFactory* factory, sim::Node* node,
+            std::uint16_t port, Config cfg, util::Rng rng)
+      : UdpSender(sim, factory, node, port), cfg_(cfg), rng_(rng) {}
+
+  ~CbrSource() override { stop(); }
+
+  void start();
+  void stop();
+  bool running() const noexcept { return running_; }
+
+  const Config& config() const noexcept { return cfg_; }
+  void set_rate_bps(double r) noexcept { cfg_.rate_bps = r; }
+
+ private:
+  void tick();
+  double next_interval();
+
+  Config cfg_;
+  util::Rng rng_;
+  bool running_ = false;
+  sim::EventId timer_ = sim::kInvalidEvent;
+};
+
+}  // namespace mafic::transport

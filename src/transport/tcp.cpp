@@ -1,0 +1,191 @@
+#include "transport/tcp.hpp"
+
+#include <algorithm>
+
+#include "sim/types.hpp"
+
+namespace mafic::transport {
+
+void TcpSender::start() {
+  if (running_) return;
+  running_ = true;
+  cwnd_ = cfg_.initial_cwnd;
+  ssthresh_ = cfg_.initial_ssthresh;
+  send_window();
+}
+
+void TcpSender::stop() {
+  running_ = false;
+  cancel_rto();
+  if (app_timer_ != sim::kInvalidEvent) {
+    sim_->cancel(app_timer_);
+    app_timer_ = sim::kInvalidEvent;
+  }
+}
+
+void TcpSender::refill_app_tokens() {
+  const double now = sim_->now();
+  const double pkts_per_s =
+      cfg_.app_rate_bps / (8.0 * static_cast<double>(cfg_.mss_bytes));
+  app_tokens_ = std::min(cfg_.app_burst_packets,
+                         app_tokens_ + (now - app_last_refill_) * pkts_per_s);
+  app_last_refill_ = now;
+}
+
+double TcpSender::effective_window() const noexcept {
+  return std::min(cwnd_, cfg_.max_cwnd);
+}
+
+void TcpSender::send_window() {
+  if (!running_) return;
+  const bool app_limited = cfg_.app_rate_bps > 0.0;
+  if (app_limited) refill_app_tokens();
+
+  // Tokens within epsilon of a whole packet count as sendable: without
+  // this, rounding in the refill arithmetic can leave the balance just
+  // below 1.0 forever, and the pacing timer would reschedule with
+  // geometrically shrinking waits (a floating-point Zeno freeze).
+  constexpr double kTokenEpsilon = 1e-6;
+  const auto window = static_cast<std::uint32_t>(effective_window());
+  while (snd_nxt_ < snd_una_ + std::max<std::uint32_t>(window, 1)) {
+    if (app_limited) {
+      if (app_tokens_ < 1.0 - kTokenEpsilon) break;
+      app_tokens_ -= 1.0;
+    }
+    send_data(snd_nxt_, /*retransmission=*/false);
+    ++snd_nxt_;
+  }
+
+  if (app_limited && app_timer_ == sim::kInvalidEvent &&
+      snd_nxt_ < snd_una_ + std::max<std::uint32_t>(window, 1)) {
+    // Window is open but the application is pacing: wake up when the next
+    // packet's worth of tokens has accumulated (floored to guarantee
+    // forward progress of simulated time).
+    const double pkts_per_s =
+        cfg_.app_rate_bps / (8.0 * static_cast<double>(cfg_.mss_bytes));
+    const double wait =
+        std::max((1.0 - app_tokens_) / pkts_per_s, 16.0 * kTokenEpsilon);
+    app_timer_ = sim_->schedule(wait, [this] {
+      app_timer_ = sim::kInvalidEvent;
+      send_window();
+    });
+  }
+  if (rto_timer_ == sim::kInvalidEvent && flight_size() > 0) arm_rto();
+}
+
+void TcpSender::send_data(std::uint32_t seq, bool retransmission) {
+  auto p = make_packet();
+  p->proto = sim::Protocol::kTcp;
+  p->size_bytes = cfg_.mss_bytes;
+  p->seq = seq;
+  p->flags = sim::tcp_flags::kAck;
+  p->tsval = sim_->now();
+  p->tsecr = last_peer_tsval_;
+  ++stats_.data_packets_sent;
+  if (retransmission) ++stats_.retransmits;
+  inject(std::move(p));
+}
+
+void TcpSender::recv(sim::PacketPtr p) {
+  if (!running_) return;
+  if (p->proto != sim::Protocol::kTcp || !p->has_flag(sim::tcp_flags::kAck)) {
+    return;  // not an ACK; senders ignore stray data
+  }
+  ++stats_.acks_received;
+  if (p->tsval > 0.0) last_peer_tsval_ = p->tsval;
+
+  if (p->ack_no > snd_una_) {
+    on_new_ack(p->ack_no, *p);
+  } else {
+    // Anything not advancing snd_una counts as a duplicate — including
+    // MAFIC probe ACKs, which carry ack_no = 0.
+    ++stats_.dup_acks_received;
+    on_dup_ack();
+  }
+}
+
+void TcpSender::on_new_ack(std::uint32_t ackno, const sim::Packet& ack) {
+  // RTT sample from the echoed timestamp (Karn's rule is implicit: the
+  // sink echoes the tsval of the packet that triggered the ACK, and
+  // retransmitted packets carry fresh tsvals).
+  if (ack.tsecr > 0.0) update_rtt(sim_->now() - ack.tsecr);
+
+  snd_una_ = std::min(ackno, snd_nxt_);
+  dupacks_ = 0;
+
+  if (in_fast_recovery_) {
+    if (snd_una_ >= recover_) {
+      in_fast_recovery_ = false;
+      cwnd_ = ssthresh_;  // deflate
+    } else {
+      // Reno partial ACK: retransmit the next hole, stay in recovery.
+      send_data(snd_una_, /*retransmission=*/true);
+    }
+  } else if (cwnd_ < ssthresh_) {
+    cwnd_ += 1.0;  // slow start
+  } else {
+    cwnd_ += 1.0 / cwnd_;  // congestion avoidance
+  }
+
+  cancel_rto();
+  if (flight_size() > 0 || running_) arm_rto();
+  send_window();
+}
+
+void TcpSender::on_dup_ack() {
+  ++dupacks_;
+  if (!in_fast_recovery_ && dupacks_ == 3) {
+    ++stats_.fast_recoveries;
+    ssthresh_ = std::max(flight_size() / 2.0, 2.0);
+    cwnd_ = ssthresh_ + 3.0;
+    in_fast_recovery_ = true;
+    recover_ = snd_nxt_;
+    send_data(snd_una_, /*retransmission=*/true);  // fast retransmit
+    arm_rto();
+  } else if (in_fast_recovery_) {
+    cwnd_ += 1.0;  // window inflation per extra dup ACK
+    send_window();
+  }
+}
+
+void TcpSender::on_timeout() {
+  rto_timer_ = sim::kInvalidEvent;
+  if (!running_) return;
+  ++stats_.timeouts;
+  ssthresh_ = std::max(flight_size() / 2.0, 2.0);
+  cwnd_ = 1.0;
+  in_fast_recovery_ = false;
+  dupacks_ = 0;
+  snd_nxt_ = snd_una_;  // go-back-N
+  rto_ = std::min(rto_ * 2.0, cfg_.max_rto);
+  send_window();
+}
+
+void TcpSender::update_rtt(double sample) {
+  if (sample <= 0.0) return;
+  if (!have_rtt_) {
+    srtt_ = sample;
+    rttvar_ = sample / 2.0;
+    have_rtt_ = true;
+  } else {
+    constexpr double kAlpha = 0.125;
+    constexpr double kBeta = 0.25;
+    rttvar_ = (1.0 - kBeta) * rttvar_ + kBeta * std::abs(srtt_ - sample);
+    srtt_ = (1.0 - kAlpha) * srtt_ + kAlpha * sample;
+  }
+  rto_ = std::clamp(srtt_ + 4.0 * rttvar_, cfg_.min_rto, cfg_.max_rto);
+}
+
+void TcpSender::arm_rto() {
+  cancel_rto();
+  rto_timer_ = sim_->schedule(rto_, [this] { on_timeout(); });
+}
+
+void TcpSender::cancel_rto() {
+  if (rto_timer_ != sim::kInvalidEvent) {
+    sim_->cancel(rto_timer_);
+    rto_timer_ = sim::kInvalidEvent;
+  }
+}
+
+}  // namespace mafic::transport

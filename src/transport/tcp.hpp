@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file tcp.hpp
+/// TCP Reno sender over packet-granularity sequence numbers (NS-2 style:
+/// each data packet carries one sequence number and a fixed MSS payload).
+///
+/// Implements: slow start, congestion avoidance, fast retransmit + fast
+/// recovery on three duplicate ACKs, Jacobson/Karels RTO estimation with
+/// exponential backoff, go-back-N on timeout, and the timestamp option
+/// (TSval/TSecr) that lets both endpoints and in-path routers sample RTT.
+///
+/// Duplicate-ACK handling matters for MAFIC: the sender counts any ACK that
+/// does not advance snd_una as a duplicate. A MAFIC router can therefore
+/// probe a claimed source by injecting duplicate ACKs — a genuine TCP
+/// sender fast-retransmits and halves cwnd, visibly cutting its arrival
+/// rate at the router within about one RTT.
+
+#include <cstdint>
+
+#include "transport/agent.hpp"
+
+namespace mafic::transport {
+
+class TcpSender final : public Agent {
+ public:
+  struct Config {
+    std::uint32_t mss_bytes = 1000;   ///< data packet size on the wire
+    std::uint32_t ack_bytes = 40;     ///< pure-ACK size
+    double initial_cwnd = 2.0;        ///< packets
+    double initial_ssthresh = 64.0;   ///< packets
+    double max_cwnd = 128.0;          ///< packets (receiver window stand-in)
+    double min_rto = 0.2;             ///< seconds
+    double max_rto = 8.0;             ///< seconds
+    double initial_rto = 1.0;         ///< seconds before first RTT sample
+
+    /// Application-limited sending rate (0 = greedy FTP source). Modeled
+    /// as a token bucket over whole packets: the window may be open while
+    /// the application simply has nothing more to send yet.
+    double app_rate_bps = 0.0;
+    double app_burst_packets = 2.0;
+  };
+
+  struct Stats {
+    std::uint64_t data_packets_sent = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t fast_recoveries = 0;
+    std::uint64_t acks_received = 0;
+    std::uint64_t dup_acks_received = 0;
+  };
+
+  TcpSender(sim::Simulator* sim, sim::PacketFactory* factory, sim::Node* node,
+            std::uint16_t port)
+      : TcpSender(sim, factory, node, port, Config{}) {}
+
+  TcpSender(sim::Simulator* sim, sim::PacketFactory* factory, sim::Node* node,
+            std::uint16_t port, Config cfg)
+      : Agent(sim, factory, node, port), cfg_(cfg), rto_(cfg.initial_rto) {}
+
+  ~TcpSender() override { cancel_rto(); }
+
+  /// Begins transmitting an unbounded (FTP-like) byte stream.
+  void start();
+  /// Stops sending new data (outstanding timers are cancelled).
+  void stop();
+
+  void recv(sim::PacketPtr p) override;  ///< ACK processing
+
+  // Introspection for tests / experiments.
+  double cwnd() const noexcept { return cwnd_; }
+  double ssthresh() const noexcept { return ssthresh_; }
+  double rto() const noexcept { return rto_; }
+  double srtt() const noexcept { return srtt_; }
+  bool in_fast_recovery() const noexcept { return in_fast_recovery_; }
+  std::uint32_t snd_una() const noexcept { return snd_una_; }
+  std::uint32_t snd_nxt() const noexcept { return snd_nxt_; }
+  bool running() const noexcept { return running_; }
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  void send_window();
+  void refill_app_tokens();
+  void send_data(std::uint32_t seq, bool retransmission);
+  void on_new_ack(std::uint32_t ackno, const sim::Packet& ack);
+  void on_dup_ack();
+  void on_timeout();
+  void update_rtt(double sample);
+  void arm_rto();
+  void cancel_rto();
+  double flight_size() const noexcept {
+    return static_cast<double>(snd_nxt_ - snd_una_);
+  }
+  double effective_window() const noexcept;
+
+  Config cfg_;
+
+  bool running_ = false;
+  std::uint32_t snd_una_ = 1;
+  std::uint32_t snd_nxt_ = 1;
+  double cwnd_ = 2.0;
+  double ssthresh_ = 64.0;
+  std::uint32_t dupacks_ = 0;
+  bool in_fast_recovery_ = false;
+  std::uint32_t recover_ = 0;
+
+  // RTT estimation (Jacobson/Karels).
+  double srtt_ = 0.0;
+  double rttvar_ = 0.0;
+  double rto_;
+  bool have_rtt_ = false;
+
+  double last_peer_tsval_ = 0.0;
+  sim::EventId rto_timer_ = sim::kInvalidEvent;
+
+  // Application-limited pacing state.
+  double app_tokens_ = 0.0;
+  double app_last_refill_ = 0.0;
+  sim::EventId app_timer_ = sim::kInvalidEvent;
+
+  Stats stats_;
+};
+
+}  // namespace mafic::transport

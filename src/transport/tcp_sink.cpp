@@ -1,0 +1,83 @@
+#include "transport/tcp_sink.hpp"
+
+namespace mafic::transport {
+
+void TcpSink::recv(sim::PacketPtr p) {
+  if (p->proto != sim::Protocol::kTcp) return;
+  ++stats_.packets_received;
+  stats_.bytes_received += p->size_bytes;
+
+  reply_label_ = p->label.reversed();
+  reply_flow_ = p->flow_id;
+  pending_tsecr_ = p->tsval;
+
+  const std::uint32_t seq = p->seq;
+  if (seq == rcv_nxt_) {
+    ++rcv_nxt_;
+    ++stats_.unique_delivered;
+    // Drain any buffered continuation.
+    auto it = out_of_order_.begin();
+    while (it != out_of_order_.end() && *it == rcv_nxt_) {
+      ++rcv_nxt_;
+      ++stats_.unique_delivered;
+      it = out_of_order_.erase(it);
+    }
+    if (!out_of_order_.empty()) {
+      // The hole above rcv_nxt_ persists: ACK immediately so the sender
+      // keeps learning about it.
+      send_ack(/*duplicate=*/false);
+    } else if (cfg_.delayed_ack) {
+      if (have_unacked_) {
+        send_ack(/*duplicate=*/false);  // every second segment
+      } else {
+        have_unacked_ = true;
+        arm_ack_timer();
+      }
+    } else {
+      send_ack(/*duplicate=*/false);
+    }
+  } else if (seq > rcv_nxt_) {
+    out_of_order_.insert(seq);
+    send_ack(/*duplicate=*/true);  // gap: duplicate ACK for rcv_nxt
+  } else {
+    ++stats_.duplicate_data;  // retransmission overlap (go-back-N)
+    send_ack(/*duplicate=*/false);
+  }
+}
+
+void TcpSink::send_ack(bool duplicate) {
+  cancel_ack_timer();
+  have_unacked_ = false;
+  auto ack = factory_->make();
+  ack->label = reply_label_;
+  ack->flow_id = reply_flow_;  // reverse traffic attributed to same flow
+  ack->proto = sim::Protocol::kTcp;
+  ack->flags = sim::tcp_flags::kAck;
+  ack->size_bytes = cfg_.ack_bytes;
+  ack->ack_no = rcv_nxt_;
+  ack->tsval = sim_->now();
+  ack->tsecr = pending_tsecr_;  // timestamp echo
+  ack->sent_time = sim_->now();
+  ++stats_.acks_sent;
+  if (duplicate) ++stats_.dup_acks_sent;
+  inject(std::move(ack));
+}
+
+void TcpSink::arm_ack_timer() {
+  if (ack_timer_ != sim::kInvalidEvent) return;
+  ack_timer_ = sim_->schedule(cfg_.ack_delay_s, [this] {
+    ack_timer_ = sim::kInvalidEvent;
+    if (!have_unacked_) return;
+    ++stats_.delayed_acks;
+    send_ack(/*duplicate=*/false);
+  });
+}
+
+void TcpSink::cancel_ack_timer() {
+  if (ack_timer_ != sim::kInvalidEvent) {
+    sim_->cancel(ack_timer_);
+    ack_timer_ = sim::kInvalidEvent;
+  }
+}
+
+}  // namespace mafic::transport

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file tcp_sink.hpp
+/// Receiving side of the packet-granularity TCP: cumulative ACKs, duplicate
+/// ACKs on out-of-order arrivals (the loss signal both real congestion and
+/// MAFIC's Pd drops produce), timestamp echo, and optional delayed ACKs
+/// (RFC 1122-style: ACK every second segment or after a short timer;
+/// out-of-order data is always ACKed immediately so fast retransmit still
+/// works).
+
+#include <cstdint>
+#include <set>
+
+#include "transport/agent.hpp"
+
+namespace mafic::transport {
+
+class TcpSink final : public Agent {
+ public:
+  struct Config {
+    std::uint32_t ack_bytes = 40;
+    bool delayed_ack = false;   ///< ACK every 2nd in-order segment
+    double ack_delay_s = 0.2;   ///< upper bound before a lone ACK goes out
+  };
+
+  struct Stats {
+    std::uint64_t packets_received = 0;   ///< all data arrivals
+    std::uint64_t unique_delivered = 0;   ///< in-order goodput, packets
+    std::uint64_t duplicate_data = 0;     ///< below rcv_nxt
+    std::uint64_t acks_sent = 0;
+    std::uint64_t dup_acks_sent = 0;
+    std::uint64_t delayed_acks = 0;       ///< ACKs emitted by the timer
+    std::uint64_t bytes_received = 0;
+  };
+
+  TcpSink(sim::Simulator* sim, sim::PacketFactory* factory, sim::Node* node,
+          std::uint16_t port, std::uint32_t ack_bytes = 40)
+      : TcpSink(sim, factory, node, port, Config{ack_bytes, false, 0.2}) {}
+
+  TcpSink(sim::Simulator* sim, sim::PacketFactory* factory, sim::Node* node,
+          std::uint16_t port, Config cfg)
+      : Agent(sim, factory, node, port), cfg_(cfg) {}
+
+  ~TcpSink() override { cancel_ack_timer(); }
+
+  void recv(sim::PacketPtr p) override;
+
+  std::uint32_t rcv_nxt() const noexcept { return rcv_nxt_; }
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  void send_ack(bool duplicate);
+  void arm_ack_timer();
+  void cancel_ack_timer();
+
+  Config cfg_;
+  std::uint32_t rcv_nxt_ = 1;
+  std::set<std::uint32_t> out_of_order_;
+  // Echo state for the next outgoing ACK.
+  double pending_tsecr_ = 0.0;
+  sim::FlowLabel reply_label_{};
+  sim::FlowId reply_flow_ = sim::kUntrackedFlow;
+  bool have_unacked_ = false;
+  sim::EventId ack_timer_ = sim::kInvalidEvent;
+  Stats stats_;
+};
+
+}  // namespace mafic::transport

@@ -1,0 +1,13 @@
+#include "transport/udp.hpp"
+
+namespace mafic::transport {
+
+void UdpSender::send_datagram(std::uint32_t bytes) {
+  auto p = make_packet();
+  p->proto = sim::Protocol::kUdp;
+  p->size_bytes = bytes;
+  p->seq = static_cast<std::uint32_t>(++sent_);
+  inject(std::move(p));
+}
+
+}  // namespace mafic::transport

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file udp.hpp
+/// Minimal UDP endpoints: a datagram sender and a counting sink. The CBR
+/// source (cbr.hpp) layers constant-rate scheduling on the sender.
+
+#include <cstdint>
+#include <functional>
+
+#include "transport/agent.hpp"
+
+namespace mafic::transport {
+
+class UdpSender : public Agent {
+ public:
+  UdpSender(sim::Simulator* sim, sim::PacketFactory* factory, sim::Node* node,
+            std::uint16_t port)
+      : Agent(sim, factory, node, port) {}
+
+  /// Emits one datagram of `bytes` toward the connected remote.
+  void send_datagram(std::uint32_t bytes);
+
+  /// UDP senders ignore whatever comes back.
+  void recv(sim::PacketPtr) override { ++ignored_; }
+
+  std::uint64_t packets_sent() const noexcept { return sent_; }
+  std::uint64_t ignored_packets() const noexcept { return ignored_; }
+
+ protected:
+  std::uint64_t sent_ = 0;
+  std::uint64_t ignored_ = 0;
+};
+
+class UdpSink final : public Agent {
+ public:
+  UdpSink(sim::Simulator* sim, sim::PacketFactory* factory, sim::Node* node,
+          std::uint16_t port)
+      : Agent(sim, factory, node, port) {}
+
+  void recv(sim::PacketPtr p) override {
+    ++packets_;
+    bytes_ += p->size_bytes;
+    if (on_packet_) on_packet_(*p);
+  }
+
+  void set_observer(std::function<void(const sim::Packet&)> obs) {
+    on_packet_ = std::move(obs);
+  }
+
+  std::uint64_t packets_received() const noexcept { return packets_; }
+  std::uint64_t bytes_received() const noexcept { return bytes_; }
+
+ private:
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::function<void(const sim::Packet&)> on_packet_;
+};
+
+}  // namespace mafic::transport

@@ -1,0 +1,37 @@
+#include "util/ip.hpp"
+
+#include <cstdio>
+
+namespace mafic::util {
+
+std::string format_addr(Addr addr) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr >> 24) & 0xff,
+                (addr >> 16) & 0xff, (addr >> 8) & 0xff, addr & 0xff);
+  return buf;
+}
+
+std::string format_subnet(const Subnet& s) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%s/%d", format_addr(s.base).c_str(),
+                s.prefix_len);
+  return buf;
+}
+
+std::optional<Addr> SubnetAllocator::allocate() {
+  if (next_suffix_ > subnet_.capacity()) return std::nullopt;
+  const Addr a =
+      (subnet_.base & subnet_.mask()) | static_cast<Addr>(next_suffix_);
+  ++next_suffix_;
+  return a;
+}
+
+bool AddressValidator::is_legal(Addr a) const noexcept {
+  if (a == kInvalidAddr) return false;
+  for (const auto& s : subnets_) {
+    if (s.contains(a)) return true;
+  }
+  return false;
+}
+
+}  // namespace mafic::util

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file ip.hpp
+/// IPv4-style addressing for the simulated domain: address formatting,
+/// subnets, an allocator that hands out addresses to topology builders, and
+/// the validator MAFIC uses to detect *illegal* (outside any allocated
+/// subnet) and *unreachable* (legal prefix but never assigned to a host)
+/// source addresses — the packets the paper sends straight to the PDT.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace mafic::util {
+
+/// 32-bit IPv4-style address. Value 0 is reserved as "invalid".
+using Addr = std::uint32_t;
+
+constexpr Addr kInvalidAddr = 0;
+
+/// Builds an address from dotted-quad components.
+constexpr Addr make_addr(unsigned a, unsigned b, unsigned c,
+                         unsigned d) noexcept {
+  return (static_cast<Addr>(a & 0xff) << 24) |
+         (static_cast<Addr>(b & 0xff) << 16) |
+         (static_cast<Addr>(c & 0xff) << 8) | static_cast<Addr>(d & 0xff);
+}
+
+/// Dotted-quad rendering, e.g. "10.0.3.17".
+std::string format_addr(Addr addr);
+
+/// A CIDR prefix.
+struct Subnet {
+  Addr base = 0;
+  int prefix_len = 32;  ///< in [0, 32]
+
+  constexpr Addr mask() const noexcept {
+    return prefix_len == 0 ? 0 : ~Addr{0} << (32 - prefix_len);
+  }
+  constexpr bool contains(Addr a) const noexcept {
+    return (a & mask()) == (base & mask());
+  }
+  /// Number of host addresses available (excluding the all-zero suffix).
+  constexpr std::uint64_t capacity() const noexcept {
+    return (std::uint64_t{1} << (32 - prefix_len)) - 1;
+  }
+};
+
+std::string format_subnet(const Subnet& s);
+
+/// Allocates host addresses sequentially from a subnet.
+class SubnetAllocator {
+ public:
+  explicit SubnetAllocator(Subnet subnet) : subnet_(subnet) {}
+
+  /// Next unused host address, or nullopt when the subnet is exhausted.
+  std::optional<Addr> allocate();
+
+  const Subnet& subnet() const noexcept { return subnet_; }
+  std::uint64_t allocated_count() const noexcept { return next_suffix_ - 1; }
+
+ private:
+  Subnet subnet_;
+  std::uint64_t next_suffix_ = 1;  // suffix 0 is the subnet base, skipped
+};
+
+/// Registry of the address space known to the protected domain.
+///
+/// * An address is *legal* when it falls inside some registered subnet.
+/// * An address is *reachable* when it is legal and has actually been
+///   assigned to a simulated host.
+///
+/// MAFIC's address policy (paper section III-A) consults this to route
+/// clearly-bogus sources straight into the Permanently Drop Table.
+class AddressValidator {
+ public:
+  void add_subnet(Subnet s) { subnets_.push_back(s); }
+  void add_host(Addr a) { hosts_.insert(a); }
+
+  bool is_legal(Addr a) const noexcept;
+  bool is_reachable(Addr a) const noexcept {
+    return hosts_.contains(a) && is_legal(a);
+  }
+
+  std::size_t subnet_count() const noexcept { return subnets_.size(); }
+  std::size_t host_count() const noexcept { return hosts_.size(); }
+
+ private:
+  std::vector<Subnet> subnets_;
+  std::unordered_set<Addr> hosts_;
+};
+
+}  // namespace mafic::util

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file logging.hpp
+/// Minimal leveled logging. Disabled levels cost one branch. The simulator
+/// is single-threaded, so no synchronization is needed.
+
+#include <cstdio>
+#include <string>
+
+namespace mafic::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global minimum level; messages below it are discarded.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Core sink; prepends the level tag. `printf`-style formatting.
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+inline bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+#define MAFIC_LOG(level, ...)                                 \
+  do {                                                        \
+    if (::mafic::util::log_enabled(level)) {                  \
+      ::mafic::util::log_message((level), __VA_ARGS__);       \
+    }                                                         \
+  } while (0)
+
+#define MAFIC_TRACE(...) MAFIC_LOG(::mafic::util::LogLevel::kTrace, __VA_ARGS__)
+#define MAFIC_DEBUG(...) MAFIC_LOG(::mafic::util::LogLevel::kDebug, __VA_ARGS__)
+#define MAFIC_INFO(...) MAFIC_LOG(::mafic::util::LogLevel::kInfo, __VA_ARGS__)
+#define MAFIC_WARN(...) MAFIC_LOG(::mafic::util::LogLevel::kWarn, __VA_ARGS__)
+#define MAFIC_ERROR(...) MAFIC_LOG(::mafic::util::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace mafic::util

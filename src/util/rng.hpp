@@ -1,0 +1,155 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation for simulations.
+///
+/// Every experiment owns one `Rng` seeded from the experiment seed so that
+/// runs are exactly reproducible. The generator is xoshiro256** (public
+/// domain, Blackman & Vigna), seeded through SplitMix64 as its authors
+/// recommend.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace mafic::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** with convenience distributions used across the simulator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+    reseed(seed);
+  }
+
+  /// Re-initializes the state from a 64-bit seed.
+  void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  /// Derives an independent child stream; used to give subsystems their own
+  /// streams so adding draws in one module does not perturb another.
+  Rng split() noexcept { return Rng(next() ^ 0xa0761d6478bd642fULL); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() noexcept { return next(); }
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) noexcept {
+    const std::uint64_t range = hi - lo + 1;
+    if (range == 0) return next();  // full 64-bit range
+    // Lemire's nearly-divisionless bounded generation.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * range;
+    auto lowbits = static_cast<std::uint64_t>(m);
+    if (lowbits < range) {
+      const std::uint64_t threshold = (0 - range) % range;
+      while (lowbits < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * range;
+        lowbits = static_cast<std::uint64_t>(m);
+      }
+    }
+    return lo + static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean) noexcept {
+    double u;
+    do {
+      u = uniform01();
+    } while (u <= 0.0);
+    return -mean * __builtin_log(u);
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept {
+    if (have_spare_) {
+      have_spare_ = false;
+      return mean + stddev * spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = __builtin_sqrt(-2.0 * __builtin_log(s) / s);
+    spare_ = v * factor;
+    have_spare_ = true;
+    return mean + stddev * u * factor;
+  }
+
+  /// Uniformly chosen index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n) noexcept {
+    return static_cast<std::size_t>(uniform_int(0, n - 1));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace mafic::util

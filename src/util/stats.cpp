@@ -1,0 +1,30 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+namespace mafic::util {
+
+double percentile(std::vector<double> sample, double q) {
+  if (sample.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::sort(sample.begin(), sample.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sample[lo] + frac * (sample[hi] - sample[lo]);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(bins == 0 ? 1 : bins)),
+      counts_(bins == 0 ? 1 : bins, 0.0) {}
+
+void Histogram::add(double x, double weight) noexcept {
+  auto idx = static_cast<long>((x - lo_) / width_);
+  idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+}  // namespace mafic::util

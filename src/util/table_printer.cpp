@@ -1,0 +1,49 @@
+#include "util/table_printer.hpp"
+
+#include <algorithm>
+
+namespace mafic::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::num(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void TablePrinter::print(std::FILE* out) const {
+  std::size_t cols = headers_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+
+  std::vector<std::size_t> widths(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(headers_);
+  for (const auto& r : rows_) widen(r);
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      std::fprintf(out, "%-*s", static_cast<int>(widths[i]) + 2, cell.c_str());
+    }
+    std::fputc('\n', out);
+  };
+
+  print_row(headers_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 2;
+  for (std::size_t i = 0; i < total; ++i) std::fputc('-', out);
+  std::fputc('\n', out);
+  for (const auto& r : rows_) print_row(r);
+}
+
+}  // namespace mafic::util

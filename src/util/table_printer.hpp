@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file table_printer.hpp
+/// Aligned console tables. The figure benches use this to print the same
+/// rows/series the paper's plots report.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mafic::util {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; missing cells render empty, extra cells are kept.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Renders to the given stream (default stdout).
+  void print(std::FILE* out = stdout) const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mafic::util

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file time_series.hpp
+/// Binned time series used to reproduce Fig. 4(b) (victim arrival bandwidth
+/// over time) and to measure pre/post-trigger rates for the traffic
+/// reduction metric.
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace mafic::util {
+
+/// Accumulates weighted samples into fixed-width time bins starting at t=0.
+class BinnedSeries {
+ public:
+  explicit BinnedSeries(double bin_width = 0.1) : bin_width_(bin_width) {}
+
+  void add(double t, double weight = 1.0) {
+    if (t < 0) return;
+    const auto idx = static_cast<std::size_t>(t / bin_width_);
+    if (idx >= bins_.size()) bins_.resize(idx + 1, 0.0);
+    bins_[idx] += weight;
+    total_ += weight;
+  }
+
+  /// Sum of weights that landed in [t0, t1). Bins partially covered by the
+  /// interval contribute proportionally to the overlap (weights are
+  /// treated as uniformly spread within each bin).
+  double sum_between(double t0, double t1) const {
+    double s = 0.0;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+      const double lo = static_cast<double>(i) * bin_width_;
+      const double hi = lo + bin_width_;
+      if (lo >= t1) break;
+      if (hi <= t0) continue;
+      const double overlap = std::min(hi, t1) - std::max(lo, t0);
+      s += bins_[i] * (overlap / bin_width_);
+    }
+    return s;
+  }
+
+  /// Average rate (weight per second) over [t0, t1).
+  double rate_between(double t0, double t1) const {
+    if (t1 <= t0) return 0.0;
+    return sum_between(t0, t1) / (t1 - t0);
+  }
+
+  double bin_width() const noexcept { return bin_width_; }
+  const std::vector<double>& bins() const noexcept { return bins_; }
+  double total() const noexcept { return total_; }
+  bool empty() const noexcept { return bins_.empty(); }
+
+  /// Rate within the bin containing time t (weight / bin width).
+  double rate_at(double t) const {
+    if (t < 0) return 0.0;
+    const auto idx = static_cast<std::size_t>(t / bin_width_);
+    if (idx >= bins_.size()) return 0.0;
+    return bins_[idx] / bin_width_;
+  }
+
+ private:
+  double bin_width_;
+  std::vector<double> bins_;
+  double total_ = 0.0;
+};
+
+}  // namespace mafic::util

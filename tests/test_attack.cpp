@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "attack/attack_plan.hpp"
+#include "attack/spoofing.hpp"
+#include "attack/zombie.hpp"
+#include "sim/network.hpp"
+#include "topology/topology.hpp"
+#include "transport/udp.hpp"
+
+namespace mafic::attack {
+namespace {
+
+util::Subnet unreachable() {
+  return {util::make_addr(172, 31, 0, 0), 16};
+}
+util::Subnet illegal() { return {util::make_addr(203, 0, 113, 0), 24}; }
+
+TEST(SpoofingModel, WeightsRespectedApproximately) {
+  SpoofingConfig cfg;
+  cfg.genuine_weight = 1;
+  cfg.legitimate_weight = 1;
+  cfg.unreachable_weight = 1;
+  cfg.illegal_weight = 1;
+  SpoofingModel model(cfg, {util::make_addr(172, 16, 0, 5)}, unreachable(),
+                      illegal(), util::Rng(5));
+  int counts[4] = {};
+  for (int i = 0; i < 40000; ++i) {
+    counts[static_cast<int>(model.draw_kind())] += 1;
+  }
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(SpoofingModel, ZeroTotalWeightThrows) {
+  SpoofingConfig cfg;
+  cfg.genuine_weight = cfg.legitimate_weight = 0;
+  cfg.unreachable_weight = cfg.illegal_weight = 0;
+  EXPECT_THROW(
+      SpoofingModel(cfg, {}, unreachable(), illegal(), util::Rng(1)),
+      std::invalid_argument);
+}
+
+TEST(SpoofingModel, AddressesMatchCategory) {
+  SpoofingConfig cfg;
+  cfg.genuine_weight = 1;
+  cfg.legitimate_weight = 1;
+  cfg.unreachable_weight = 1;
+  cfg.illegal_weight = 1;
+  const util::Addr real_host = util::make_addr(172, 16, 0, 5);
+  const util::Addr me = util::make_addr(172, 16, 1, 1);
+  SpoofingModel model(cfg, {real_host}, unreachable(), illegal(),
+                      util::Rng(5));
+  for (int i = 0; i < 1000; ++i) {
+    const auto s = model.draw(me);
+    switch (s.kind) {
+      case SpoofKind::kGenuine:
+        EXPECT_EQ(s.addr, me);
+        break;
+      case SpoofKind::kLegitimate:
+        EXPECT_EQ(s.addr, real_host);
+        break;
+      case SpoofKind::kUnreachable:
+        EXPECT_TRUE(unreachable().contains(s.addr));
+        break;
+      case SpoofKind::kIllegal:
+        EXPECT_TRUE(illegal().contains(s.addr));
+        break;
+    }
+  }
+}
+
+TEST(SpoofingModel, EmptyHostPoolFallsBackToGenuine) {
+  SpoofingConfig cfg;  // default: all legitimate
+  SpoofingModel model(cfg, {}, unreachable(), illegal(), util::Rng(5));
+  const util::Addr me = util::make_addr(172, 16, 1, 1);
+  EXPECT_EQ(model.draw_address(SpoofKind::kLegitimate, me), me);
+}
+
+class FlooderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net = std::make_unique<sim::Network>(&sim);
+    bell = topology::build_dumbbell(*net, {});
+    zombie_node = net->node(bell.left_hosts[0]);
+    victim_node = net->node(bell.right_hosts[0]);
+    sink = std::make_unique<transport::UdpSink>(&sim, &factory, victim_node,
+                                                80);
+  }
+
+  sim::Simulator sim;
+  sim::PacketFactory factory;
+  std::unique_ptr<sim::Network> net;
+  topology::Dumbbell bell;
+  sim::Node* zombie_node{};
+  sim::Node* victim_node{};
+  std::unique_ptr<transport::UdpSink> sink;
+};
+
+TEST_F(FlooderTest, EmitsAtConfiguredRate) {
+  Flooder::Config cfg;
+  cfg.rate_bps = 800e3;
+  cfg.packet_bytes = 1000;
+  cfg.jitter_fraction = 0.0;
+  Flooder z(&sim, &factory, zombie_node, 5000, cfg, util::Rng(3));
+  z.connect(victim_node->addr(), 80);
+  z.start();
+  sim.run_until(2.0);
+  z.stop();
+  EXPECT_NEAR(double(z.packets_sent()), 200.0, 8.0);
+}
+
+TEST_F(FlooderTest, SpoofedLabelIsStablePerFlow) {
+  SpoofingConfig scfg;  // all "legitimate" spoofs
+  const util::Addr innocent = util::make_addr(172, 16, 9, 9);
+  SpoofingModel model(scfg, {innocent}, unreachable(), illegal(),
+                      util::Rng(7));
+  Flooder::Config cfg;
+  cfg.framing = sim::Protocol::kTcp;
+  Flooder z(&sim, &factory, zombie_node, 5000, cfg, util::Rng(3));
+  z.connect(victim_node->addr(), 80);
+  z.set_spoof(&model);
+  EXPECT_EQ(z.wire_label().src, innocent);
+  EXPECT_EQ(z.spoof_kind(), SpoofKind::kLegitimate);
+
+  std::set<util::Addr> sources;
+  sink->set_observer([&](const sim::Packet& p) {
+    sources.insert(p.label.src);
+    EXPECT_EQ(p.proto, sim::Protocol::kTcp);
+    EXPECT_TRUE(p.has_flag(sim::tcp_flags::kAck));
+    EXPECT_EQ(p.tsecr, 0.0);  // zombies do not echo timestamps
+  });
+  z.start();
+  sim.run_until(0.5);
+  EXPECT_EQ(sources.size(), 1u);
+  EXPECT_TRUE(sources.contains(innocent));
+}
+
+TEST_F(FlooderTest, PerPacketSpoofingVariesSource) {
+  SpoofingConfig scfg;
+  scfg.legitimate_weight = 0;
+  scfg.unreachable_weight = 1;
+  SpoofingModel model(scfg, {}, unreachable(), illegal(), util::Rng(7));
+  Flooder::Config cfg;
+  cfg.per_packet_spoofing = true;
+  cfg.rate_bps = 4e6;
+  Flooder z(&sim, &factory, zombie_node, 5000, cfg, util::Rng(3));
+  z.connect(victim_node->addr(), 80);
+  z.set_spoof(&model);
+  std::set<util::Addr> sources;
+  sink->set_observer(
+      [&](const sim::Packet& p) { sources.insert(p.label.src); });
+  z.start();
+  sim.run_until(0.5);
+  EXPECT_GT(sources.size(), 10u);
+}
+
+TEST_F(FlooderTest, IgnoresFeedback) {
+  Flooder::Config cfg;
+  Flooder z(&sim, &factory, zombie_node, 5000, cfg, util::Rng(3));
+  z.connect(victim_node->addr(), 80);
+  auto probe = factory.make();
+  probe->label = z.label().reversed();
+  z.recv(std::move(probe));
+  EXPECT_EQ(z.feedback_ignored(), 1u);
+  EXPECT_EQ(z.packets_sent(), 0u);  // no reaction
+}
+
+TEST_F(FlooderTest, SequenceNumbersIncrease) {
+  Flooder::Config cfg;
+  cfg.rate_bps = 4e6;
+  Flooder z(&sim, &factory, zombie_node, 5000, cfg, util::Rng(3));
+  z.connect(victim_node->addr(), 80);
+  std::uint32_t last = 0;
+  sink->set_observer([&](const sim::Packet& p) {
+    EXPECT_GT(p.seq, last);
+    last = p.seq;
+  });
+  z.start();
+  sim.run_until(0.2);
+  EXPECT_GT(last, 0u);
+}
+
+TEST_F(FlooderTest, AttackPlanStaggersStartsWithinRamp) {
+  Flooder::Config cfg;
+  cfg.rate_bps = 1e6;
+  std::vector<std::unique_ptr<Flooder>> zombies;
+  AttackPlan::Config pc;
+  pc.start_time = 1.0;
+  pc.ramp_seconds = 0.5;
+  pc.stop_time = 2.0;
+  AttackPlan plan(&sim, pc);
+  for (int i = 0; i < 5; ++i) {
+    auto z = std::make_unique<Flooder>(&sim, &factory, zombie_node,
+                                       std::uint16_t(6000 + i), cfg,
+                                       util::Rng(i));
+    z->connect(victim_node->addr(), 80);
+    plan.add(z.get());
+    zombies.push_back(std::move(z));
+  }
+  util::Rng rng(9);
+  plan.arm(rng);
+  EXPECT_EQ(plan.zombie_count(), 5u);
+
+  sim.run_until(0.99);
+  for (const auto& z : zombies) EXPECT_FALSE(z->running());
+  sim.run_until(1.51);
+  for (const auto& z : zombies) EXPECT_TRUE(z->running());
+  sim.run_until(2.01);
+  for (const auto& z : zombies) EXPECT_FALSE(z->running());
+}
+
+}  // namespace
+}  // namespace mafic::attack

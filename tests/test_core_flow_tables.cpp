@@ -1,0 +1,154 @@
+#include "core/flow_tables.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mafic::core {
+namespace {
+
+sim::FlowLabel label(std::uint32_t i) {
+  return {util::make_addr(10, 0, 0, 1) + i, util::make_addr(172, 16, 0, 1),
+          std::uint16_t(1000 + i), 80};
+}
+
+class FlowTablesTest : public ::testing::Test {
+ protected:
+  MaficConfig cfg;
+  FlowTables tables{cfg};
+};
+
+TEST_F(FlowTablesTest, FreshKeyIsUntabled) {
+  EXPECT_EQ(tables.classify(123), TableKind::kNone);
+  EXPECT_EQ(tables.find_sft(123), nullptr);
+}
+
+TEST_F(FlowTablesTest, AdmitCreatesProbationWindows) {
+  SftEntry* e = tables.admit_sft(42, label(1), 10.0, 0.2);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(tables.classify(42), TableKind::kSuspicious);
+  EXPECT_DOUBLE_EQ(e->entry_time, 10.0);
+  EXPECT_DOUBLE_EQ(e->split_time, 10.1);
+  EXPECT_DOUBLE_EQ(e->deadline, 10.2);
+  EXPECT_EQ(e->baseline_count, 0u);
+  EXPECT_EQ(e->probe_count, 0u);
+  EXPECT_FALSE(e->probe_sent);
+}
+
+TEST_F(FlowTablesTest, AdmitRefusesTabledKeys) {
+  tables.admit_sft(42, label(1), 0.0, 0.2);
+  EXPECT_EQ(tables.admit_sft(42, label(1), 1.0, 0.2), nullptr);
+  tables.resolve(42, TableKind::kNice);
+  EXPECT_EQ(tables.admit_sft(42, label(1), 2.0, 0.2), nullptr);
+}
+
+TEST_F(FlowTablesTest, ResolveMovesToNft) {
+  tables.admit_sft(42, label(1), 0.0, 0.2);
+  const SftEntry resolved = tables.resolve(42, TableKind::kNice);
+  EXPECT_EQ(resolved.key, 42u);
+  EXPECT_EQ(tables.classify(42), TableKind::kNice);
+  EXPECT_TRUE(tables.in_nft(42));
+  EXPECT_FALSE(tables.in_pdt(42));
+  EXPECT_EQ(tables.sft_size(), 0u);
+  EXPECT_EQ(tables.stats().moved_to_nft, 1u);
+}
+
+TEST_F(FlowTablesTest, ResolveMovesToPdt) {
+  tables.admit_sft(43, label(2), 0.0, 0.2);
+  tables.resolve(43, TableKind::kPermanentDrop);
+  EXPECT_EQ(tables.classify(43), TableKind::kPermanentDrop);
+  EXPECT_TRUE(tables.in_pdt(43));
+  EXPECT_EQ(tables.stats().moved_to_pdt, 1u);
+}
+
+TEST_F(FlowTablesTest, KeyInAtMostOneTable) {
+  // Exercise all transitions and verify exclusivity at each step.
+  tables.admit_sft(1, label(1), 0.0, 0.2);
+  tables.admit_sft(2, label(2), 0.0, 0.2);
+  tables.add_pdt_direct(3);
+  tables.resolve(1, TableKind::kNice);
+  tables.resolve(2, TableKind::kPermanentDrop);
+  for (const std::uint64_t key : {1ULL, 2ULL, 3ULL}) {
+    int membership = 0;
+    membership += tables.in_nft(key);
+    membership += tables.in_pdt(key);
+    membership += (tables.find_sft(key) != nullptr);
+    EXPECT_EQ(membership, 1) << "key " << key;
+  }
+}
+
+TEST_F(FlowTablesTest, DirectPdtForScreenedSources) {
+  tables.add_pdt_direct(99);
+  EXPECT_EQ(tables.classify(99), TableKind::kPermanentDrop);
+  EXPECT_EQ(tables.stats().direct_pdt, 1u);
+}
+
+TEST_F(FlowTablesTest, FlushEmptiesEverything) {
+  tables.admit_sft(1, label(1), 0.0, 0.2);
+  tables.add_pdt_direct(2);
+  tables.admit_sft(3, label(3), 0.0, 0.2);
+  tables.resolve(3, TableKind::kNice);
+  tables.flush();
+  EXPECT_EQ(tables.sft_size(), 0u);
+  EXPECT_EQ(tables.nft_size(), 0u);
+  EXPECT_EQ(tables.pdt_size(), 0u);
+  EXPECT_EQ(tables.classify(1), TableKind::kNone);
+  EXPECT_EQ(tables.stats().flushes, 1u);
+}
+
+TEST_F(FlowTablesTest, SftEvictionAtCapacity) {
+  MaficConfig small;
+  small.sft_capacity = 4;
+  FlowTables t(small);
+  for (std::uint64_t k = 0; k < 4; ++k) {
+    t.admit_sft(k, label(std::uint32_t(k)), double(k), 0.2);
+  }
+  EXPECT_EQ(t.sft_size(), 4u);
+  // Fifth admission evicts the entry with the earliest deadline (key 0).
+  t.admit_sft(99, label(99), 10.0, 0.2);
+  EXPECT_EQ(t.sft_size(), 4u);
+  EXPECT_EQ(t.classify(0), TableKind::kNone);
+  EXPECT_EQ(t.classify(99), TableKind::kSuspicious);
+  EXPECT_EQ(t.stats().sft_evictions, 1u);
+}
+
+TEST_F(FlowTablesTest, NftCapacityBounded) {
+  MaficConfig small;
+  small.nft_capacity = 8;
+  FlowTables t(small);
+  for (std::uint64_t k = 0; k < 32; ++k) {
+    t.admit_sft(k, label(std::uint32_t(k)), 0.0, 0.2);
+    t.resolve(k, TableKind::kNice);
+  }
+  EXPECT_LE(t.nft_size(), 8u);
+}
+
+TEST_F(FlowTablesTest, PdtCapacityBounded) {
+  MaficConfig small;
+  small.pdt_capacity = 8;
+  FlowTables t(small);
+  for (std::uint64_t k = 0; k < 32; ++k) t.add_pdt_direct(k);
+  EXPECT_LE(t.pdt_size(), 8u);
+}
+
+TEST_F(FlowTablesTest, ForEachSftVisitsAll) {
+  tables.admit_sft(1, label(1), 0.0, 0.2);
+  tables.admit_sft(2, label(2), 0.0, 0.2);
+  int visited = 0;
+  tables.for_each_sft([&](const SftEntry&) { ++visited; });
+  EXPECT_EQ(visited, 2);
+}
+
+TEST_F(FlowTablesTest, StatsCountAdmissions) {
+  tables.admit_sft(1, label(1), 0.0, 0.2);
+  tables.admit_sft(2, label(2), 0.0, 0.2);
+  EXPECT_EQ(tables.stats().sft_admissions, 2u);
+}
+
+TEST(TableKindNames, ToString) {
+  EXPECT_STREQ(to_string(TableKind::kNone), "none");
+  EXPECT_STREQ(to_string(TableKind::kSuspicious), "SFT");
+  EXPECT_STREQ(to_string(TableKind::kNice), "NFT");
+  EXPECT_STREQ(to_string(TableKind::kPermanentDrop), "PDT");
+}
+
+}  // namespace
+}  // namespace mafic::core

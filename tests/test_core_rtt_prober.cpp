@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "core/prober.hpp"
+#include "core/rtt_estimator.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace mafic::core {
+namespace {
+
+TEST(RttEstimator, DefaultWhenUnobserved) {
+  MaficConfig cfg;
+  RttEstimator est(cfg);
+  EXPECT_DOUBLE_EQ(est.rtt(1), cfg.default_rtt);
+  EXPECT_FALSE(est.has_estimate(1));
+}
+
+TEST(RttEstimator, AppliesCorrectionFactor) {
+  MaficConfig cfg;
+  cfg.rtt_correction = 2.0;
+  cfg.rtt_ewma_alpha = 1.0;  // track the last sample exactly
+  RttEstimator est(cfg);
+  est.observe(1, 0.03);  // raw half-path sample
+  EXPECT_NEAR(est.rtt(1), 0.06, 1e-12);
+}
+
+TEST(RttEstimator, ClampsToConfiguredRange) {
+  MaficConfig cfg;
+  cfg.rtt_ewma_alpha = 1.0;
+  RttEstimator est(cfg);
+  est.observe(1, 0.004);  // corrected 0.008 < min_rtt
+  EXPECT_DOUBLE_EQ(est.rtt(1), cfg.min_rtt);
+  est.observe(2, 0.15);  // corrected 0.3 > max_rtt
+  EXPECT_DOUBLE_EQ(est.rtt(2), cfg.max_rtt);
+}
+
+TEST(RttEstimator, RejectsGarbage) {
+  MaficConfig cfg;
+  RttEstimator est(cfg);
+  est.observe(1, -0.5);
+  est.observe(1, 0.0);
+  est.observe(1, 100.0);  // stale echo way past max_rtt * 4
+  EXPECT_FALSE(est.has_estimate(1));
+}
+
+TEST(RttEstimator, EwmaSmoothes) {
+  MaficConfig cfg;
+  cfg.rtt_correction = 1.0;
+  cfg.rtt_ewma_alpha = 0.5;
+  RttEstimator est(cfg);
+  est.observe(1, 0.05);
+  est.observe(1, 0.09);
+  EXPECT_NEAR(est.rtt(1), 0.07, 1e-12);
+}
+
+TEST(RttEstimator, PerFlowIsolation) {
+  MaficConfig cfg;
+  cfg.rtt_correction = 1.0;
+  cfg.rtt_ewma_alpha = 1.0;
+  RttEstimator est(cfg);
+  est.observe(1, 0.05);
+  est.observe(2, 0.09);
+  EXPECT_NEAR(est.rtt(1), 0.05, 1e-12);
+  EXPECT_NEAR(est.rtt(2), 0.09, 1e-12);
+  EXPECT_EQ(est.tracked_flows(), 2u);
+  est.clear();
+  EXPECT_EQ(est.tracked_flows(), 0u);
+}
+
+class ProberTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net = std::make_unique<sim::Network>(&sim);
+    host = net->add_host(util::make_addr(172, 16, 0, 1));
+    router = net->add_router(util::make_addr(10, 0, 0, 1));
+    net->add_duplex(router->id(), host->id(), {});
+    net->build_routes();
+  }
+
+  sim::Simulator sim;
+  sim::PacketFactory factory;
+  std::unique_ptr<sim::Network> net;
+  sim::Node* host{};
+  sim::Node* router{};
+};
+
+TEST_F(ProberTest, EmitsConfiguredDupAcks) {
+  MaficConfig cfg;
+  cfg.probe_dup_acks = 3;
+  cfg.probe_spacing_s = 0.001;
+  Prober prober(&sim, &factory, router, cfg);
+
+  class Capture final : public sim::PacketHandler {
+   public:
+    void recv(sim::PacketPtr p) override {
+      packets.push_back(std::move(p));
+    }
+    std::vector<sim::PacketPtr> packets;
+  } capture;
+  host->bind_port(5000, &capture);
+
+  // A suspicious flow from the host toward some victim.
+  const sim::FlowLabel flow{host->addr(), util::make_addr(172, 17, 0, 1),
+                            5000, 80};
+  prober.probe(flow);
+  sim.run();
+
+  ASSERT_EQ(capture.packets.size(), 3u);
+  for (const auto& p : capture.packets) {
+    EXPECT_TRUE(p->probe);
+    EXPECT_EQ(p->proto, sim::Protocol::kTcp);
+    EXPECT_TRUE(p->has_flag(sim::tcp_flags::kAck));
+    EXPECT_EQ(p->ack_no, 0u);
+    // Reverse label: pretends to come from the victim.
+    EXPECT_EQ(p->label.src, flow.dst);
+    EXPECT_EQ(p->label.dst, flow.src);
+    EXPECT_EQ(p->label.sport, flow.dport);
+    EXPECT_EQ(p->label.dport, flow.sport);
+  }
+  EXPECT_EQ(prober.probes_issued(), 1u);
+  EXPECT_EQ(prober.probe_packets_sent(), 3u);
+}
+
+TEST_F(ProberTest, ProbeToUnboundPortIsHarmless) {
+  MaficConfig cfg;
+  Prober prober(&sim, &factory, router, cfg);
+  int unbound = 0;
+  net->set_drop_handler([&](const sim::Packet& p, sim::DropReason r,
+                            sim::NodeId) {
+    if (r == sim::DropReason::kUnboundPort) {
+      EXPECT_TRUE(p.probe);
+      ++unbound;
+    }
+  });
+  const sim::FlowLabel flow{host->addr(), util::make_addr(172, 17, 0, 1),
+                            4321, 80};  // nobody listens on 4321
+  prober.probe(flow);
+  sim.run();
+  EXPECT_EQ(unbound, 3);
+}
+
+TEST_F(ProberTest, ProbeToUnroutableSourceDropsSilently) {
+  MaficConfig cfg;
+  Prober prober(&sim, &factory, router, cfg);
+  int noroute = 0;
+  net->set_drop_handler([&](const sim::Packet&, sim::DropReason r,
+                            sim::NodeId) {
+    noroute += (r == sim::DropReason::kNoRoute);
+  });
+  const sim::FlowLabel flow{util::make_addr(203, 0, 113, 7),
+                            util::make_addr(172, 17, 0, 1), 5000, 80};
+  prober.probe(flow);
+  sim.run();
+  EXPECT_EQ(noroute, 3);
+}
+
+TEST_F(ProberTest, SpacingSeparatesEmissions) {
+  MaficConfig cfg;
+  cfg.probe_dup_acks = 3;
+  cfg.probe_spacing_s = 0.01;
+  Prober prober(&sim, &factory, router, cfg);
+  std::vector<double> arrival_times;
+  class Capture final : public sim::PacketHandler {
+   public:
+    explicit Capture(sim::Simulator* s, std::vector<double>* t)
+        : sim(s), times(t) {}
+    void recv(sim::PacketPtr) override { times->push_back(sim->now()); }
+    sim::Simulator* sim;
+    std::vector<double>* times;
+  } capture(&sim, &arrival_times);
+  host->bind_port(5000, &capture);
+
+  prober.probe({host->addr(), util::make_addr(172, 17, 0, 1), 5000, 80});
+  sim.run();
+  ASSERT_EQ(arrival_times.size(), 3u);
+  EXPECT_NEAR(arrival_times[1] - arrival_times[0], 0.01, 1e-9);
+  EXPECT_NEAR(arrival_times[2] - arrival_times[1], 0.01, 1e-9);
+}
+
+}  // namespace
+}  // namespace mafic::core

@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include "pushback/atr_identifier.hpp"
+#include "pushback/coordinator.hpp"
+#include "pushback/victim_detector.hpp"
+#include "sim/simulator.hpp"
+
+namespace mafic::pushback {
+namespace {
+
+/// Builds a snapshot where router `src` injected `n` packets terminating at
+/// router `dst` (optionally with extra unrelated traffic).
+sketch::TrafficMatrixSnapshot make_snapshot(std::size_t routers,
+                                            sim::NodeId src, sim::NodeId dst,
+                                            std::uint64_t n,
+                                            std::uint64_t uid_base = 0) {
+  sketch::RouterSketchBank bank(routers, 12, 77);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    bank.record_ingress(src, uid_base + i);
+    bank.record_egress(dst, uid_base + i);
+  }
+  sketch::TrafficMatrixSnapshot snap;
+  snap.epoch_start = 0.0;
+  snap.epoch_end = 0.1;
+  for (std::size_t i = 0; i < routers; ++i) {
+    snap.s.push_back(bank.s(sim::NodeId(i)));
+    snap.d.push_back(bank.d(sim::NodeId(i)));
+  }
+  return snap;
+}
+
+TEST(VictimDetector, AlarmsOnSuddenSurge) {
+  VictimDetector::Config cfg;
+  cfg.warmup_epochs = 2;
+  cfg.trigger_factor = 2.0;
+  cfg.min_packets_per_epoch = 50;
+  VictimDetector det(cfg);
+  std::vector<AttackAlarm> alarms;
+  det.set_alarm_callback(
+      [&](const AttackAlarm& a, const sketch::TrafficMatrixSnapshot&) {
+        alarms.push_back(a);
+      });
+
+  // Baseline epochs: ~200 packets to router 1.
+  for (int e = 0; e < 5; ++e) {
+    det.on_epoch(make_snapshot(3, 0, 1, 200, e * 1000000ULL));
+  }
+  EXPECT_TRUE(alarms.empty());
+  // Surge: 2000 packets.
+  det.on_epoch(make_snapshot(3, 0, 1, 2000, 99000000ULL));
+  ASSERT_EQ(alarms.size(), 1u);
+  EXPECT_EQ(alarms[0].router, 1u);
+  EXPECT_GT(alarms[0].observed, alarms[0].baseline * 2.0);
+  EXPECT_TRUE(det.alarming(1));
+  EXPECT_FALSE(det.alarming(0));
+}
+
+TEST(VictimDetector, NoAlarmDuringWarmup) {
+  VictimDetector::Config cfg;
+  cfg.warmup_epochs = 10;
+  VictimDetector det(cfg);
+  int alarms = 0;
+  det.set_alarm_callback(
+      [&](const AttackAlarm&, const sketch::TrafficMatrixSnapshot&) {
+        ++alarms;
+      });
+  det.on_epoch(make_snapshot(2, 0, 1, 100));
+  det.on_epoch(make_snapshot(2, 0, 1, 5000, 1000000));
+  EXPECT_EQ(alarms, 0);
+}
+
+TEST(VictimDetector, AbsoluteFloorSuppressesTinyTraffic) {
+  VictimDetector::Config cfg;
+  cfg.warmup_epochs = 1;
+  cfg.trigger_factor = 2.0;
+  cfg.min_packets_per_epoch = 1000;
+  VictimDetector det(cfg);
+  int alarms = 0;
+  det.set_alarm_callback(
+      [&](const AttackAlarm&, const sketch::TrafficMatrixSnapshot&) {
+        ++alarms;
+      });
+  for (int e = 0; e < 3; ++e) {
+    det.on_epoch(make_snapshot(2, 0, 1, 20, e * 1000000ULL));
+  }
+  det.on_epoch(make_snapshot(2, 0, 1, 200, 99000000ULL));  // 10x but tiny
+  EXPECT_EQ(alarms, 0);
+}
+
+TEST(VictimDetector, ClearsWhenTrafficSubsides) {
+  VictimDetector::Config cfg;
+  cfg.warmup_epochs = 1;
+  cfg.trigger_factor = 2.0;
+  cfg.clear_factor = 1.5;
+  cfg.min_packets_per_epoch = 50;
+  VictimDetector det(cfg);
+  std::vector<sim::NodeId> cleared;
+  det.set_clear_callback(
+      [&](sim::NodeId r, double) { cleared.push_back(r); });
+
+  for (int e = 0; e < 3; ++e) {
+    det.on_epoch(make_snapshot(2, 0, 1, 200, e * 1000000ULL));
+  }
+  det.on_epoch(make_snapshot(2, 0, 1, 2000, 90000000ULL));  // alarm
+  EXPECT_TRUE(det.alarming(1));
+  det.on_epoch(make_snapshot(2, 0, 1, 210, 91000000ULL));  // back to normal
+  EXPECT_FALSE(det.alarming(1));
+  ASSERT_EQ(cleared.size(), 1u);
+  EXPECT_EQ(cleared[0], 1u);
+}
+
+TEST(VictimDetector, BaselineFrozenWhileAlarming) {
+  VictimDetector::Config cfg;
+  cfg.warmup_epochs = 1;
+  cfg.trigger_factor = 2.0;
+  cfg.min_packets_per_epoch = 50;
+  VictimDetector det(cfg);
+  for (int e = 0; e < 3; ++e) {
+    det.on_epoch(make_snapshot(2, 0, 1, 200, e * 1000000ULL));
+  }
+  const double base_before = det.baseline(1);
+  for (int e = 0; e < 5; ++e) {  // sustained attack epochs
+    det.on_epoch(make_snapshot(2, 0, 1, 3000, (10 + e) * 1000000ULL));
+  }
+  EXPECT_TRUE(det.alarming(1));
+  EXPECT_NEAR(det.baseline(1), base_before, base_before * 0.05);
+}
+
+TEST(AtrIdentifier, SelectsContributingIngress) {
+  // Router 0 sends 5000 packets to victim router 2; router 1 sends 100.
+  sketch::RouterSketchBank bank(4, 12, 5);
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    bank.record_ingress(0, i);
+    bank.record_egress(2, i);
+  }
+  for (std::uint64_t i = 100000; i < 100100; ++i) {
+    bank.record_ingress(1, i);
+    bank.record_egress(2, i);
+  }
+  sketch::TrafficMatrixSnapshot snap;
+  for (std::size_t i = 0; i < 4; ++i) {
+    snap.s.push_back(bank.s(sim::NodeId(i)));
+    snap.d.push_back(bank.d(sim::NodeId(i)));
+  }
+
+  AtrConfig cfg;
+  cfg.share_threshold = 0.3;
+  cfg.min_intersection = 50;
+  const auto atrs = identify_atrs(snap, 2, cfg);
+  ASSERT_GE(atrs.size(), 1u);
+  EXPECT_EQ(atrs[0].router, 0u);
+  EXPECT_GT(atrs[0].share, 0.5);
+}
+
+TEST(AtrIdentifier, ExcludesVictimRouterAndRespectsCap) {
+  sketch::RouterSketchBank bank(5, 12, 5);
+  for (sim::NodeId r = 0; r < 4; ++r) {
+    for (std::uint64_t i = 0; i < 3000; ++i) {
+      const std::uint64_t uid = r * 1000000ULL + i;
+      bank.record_ingress(r, uid);
+      bank.record_egress(4, uid);
+    }
+  }
+  sketch::TrafficMatrixSnapshot snap;
+  for (std::size_t i = 0; i < 5; ++i) {
+    snap.s.push_back(bank.s(sim::NodeId(i)));
+    snap.d.push_back(bank.d(sim::NodeId(i)));
+  }
+  AtrConfig cfg;
+  cfg.share_threshold = 0.05;
+  cfg.min_intersection = 100;
+  cfg.max_atrs = 2;
+  const auto atrs = identify_atrs(snap, 4, cfg);
+  EXPECT_EQ(atrs.size(), 2u);
+  for (const auto& a : atrs) EXPECT_NE(a.router, 4u);
+}
+
+TEST(AtrIdentifier, EmptySnapshotYieldsNothing) {
+  sketch::RouterSketchBank bank(3, 10, 1);
+  sketch::TrafficMatrixSnapshot snap;
+  for (std::size_t i = 0; i < 3; ++i) {
+    snap.s.push_back(bank.s(sim::NodeId(i)));
+    snap.d.push_back(bank.d(sim::NodeId(i)));
+  }
+  EXPECT_TRUE(identify_atrs(snap, 2, {}).empty());
+}
+
+/// Minimal actuator for coordinator tests.
+class FakeActuator final : public core::DefenseActuator {
+ public:
+  void activate(const core::VictimSet& v) override {
+    active_ = true;
+    victims = v;
+    ++activations;
+  }
+  void refresh() override { ++refreshes; }
+  void deactivate() override { active_ = false; ++deactivations; }
+  bool active() const noexcept override { return active_; }
+
+  bool active_ = false;
+  int activations = 0;
+  int refreshes = 0;
+  int deactivations = 0;
+  core::VictimSet victims;
+};
+
+class CoordinatorTest : public ::testing::Test {
+ protected:
+  PushbackCoordinator::Config make_cfg(bool latch) {
+    PushbackCoordinator::Config cfg;
+    cfg.control_delay = 0.01;
+    cfg.refresh_interval = 0.1;
+    cfg.latch = latch;
+    cfg.atr.share_threshold = 0.2;
+    cfg.atr.min_intersection = 100;
+    cfg.detector.warmup_epochs = 1;
+    cfg.detector.trigger_factor = 2.0;
+    cfg.detector.min_packets_per_epoch = 50;
+    return cfg;
+  }
+
+  sim::Simulator sim;
+};
+
+TEST_F(CoordinatorTest, AlarmActivatesAtrActuatorsAfterControlDelay) {
+  PushbackCoordinator coord(&sim, make_cfg(true));
+  const util::Addr victim_addr = util::make_addr(172, 17, 0, 1);
+  coord.protect(1, victim_addr);
+  FakeActuator at_attacker, at_innocent;
+  coord.register_actuator(0, &at_attacker);
+  coord.register_actuator(2, &at_innocent);
+
+  // Warm up, then surge through ingress router 0.
+  coord.detector().on_epoch(make_snapshot(3, 0, 1, 200, 0));
+  coord.detector().on_epoch(make_snapshot(3, 0, 1, 200, 1000000));
+  coord.detector().on_epoch(make_snapshot(3, 0, 1, 5000, 2000000));
+  EXPECT_FALSE(at_attacker.active_);  // control delay pending
+  sim.run_until(0.05);
+  EXPECT_TRUE(at_attacker.active_);
+  EXPECT_FALSE(at_innocent.active_);
+  EXPECT_TRUE(at_attacker.victims.contains(victim_addr));
+  EXPECT_TRUE(coord.triggered());
+  ASSERT_EQ(coord.active_atrs().size(), 1u);
+  EXPECT_EQ(coord.active_atrs()[0], 0u);
+}
+
+TEST_F(CoordinatorTest, RefreshLoopKeepsActuatorsAlive) {
+  PushbackCoordinator coord(&sim, make_cfg(true));
+  coord.protect(1, util::make_addr(172, 17, 0, 1));
+  FakeActuator actuator;
+  coord.register_actuator(0, &actuator);
+  coord.detector().on_epoch(make_snapshot(3, 0, 1, 200, 0));
+  coord.detector().on_epoch(make_snapshot(3, 0, 1, 200, 1000000));
+  coord.detector().on_epoch(make_snapshot(3, 0, 1, 5000, 2000000));
+  sim.run_until(1.0);
+  EXPECT_GE(actuator.refreshes, 8);
+}
+
+TEST_F(CoordinatorTest, CancelDeactivatesEverything) {
+  PushbackCoordinator coord(&sim, make_cfg(true));
+  coord.protect(1, util::make_addr(172, 17, 0, 1));
+  FakeActuator actuator;
+  coord.register_actuator(0, &actuator);
+  coord.detector().on_epoch(make_snapshot(3, 0, 1, 200, 0));
+  coord.detector().on_epoch(make_snapshot(3, 0, 1, 200, 1000000));
+  coord.detector().on_epoch(make_snapshot(3, 0, 1, 5000, 2000000));
+  sim.run_until(0.1);
+  EXPECT_TRUE(actuator.active_);
+  coord.cancel();
+  EXPECT_FALSE(actuator.active_);
+  EXPECT_EQ(actuator.deactivations, 1);
+  EXPECT_TRUE(coord.active_atrs().empty());
+}
+
+TEST_F(CoordinatorTest, UnlatchedCoordinatorCancelsOnClear) {
+  PushbackCoordinator coord(&sim, make_cfg(false));
+  coord.protect(1, util::make_addr(172, 17, 0, 1));
+  FakeActuator actuator;
+  coord.register_actuator(0, &actuator);
+  coord.detector().on_epoch(make_snapshot(3, 0, 1, 200, 0));
+  coord.detector().on_epoch(make_snapshot(3, 0, 1, 200, 1000000));
+  coord.detector().on_epoch(make_snapshot(3, 0, 1, 5000, 2000000));
+  sim.run_until(0.05);
+  EXPECT_TRUE(actuator.active_);
+  // Traffic subsides -> detector clears -> coordinator cancels.
+  coord.detector().on_epoch(make_snapshot(3, 0, 1, 210, 3000000));
+  EXPECT_FALSE(actuator.active_);
+}
+
+TEST_F(CoordinatorTest, AlarmsForOtherRoutersIgnored) {
+  PushbackCoordinator coord(&sim, make_cfg(true));
+  coord.protect(1, util::make_addr(172, 17, 0, 1));  // protect router 1
+  FakeActuator actuator;
+  coord.register_actuator(0, &actuator);
+  // Surge toward router 2 (not the protected victim).
+  coord.detector().on_epoch(make_snapshot(3, 0, 2, 200, 0));
+  coord.detector().on_epoch(make_snapshot(3, 0, 2, 200, 1000000));
+  coord.detector().on_epoch(make_snapshot(3, 0, 2, 5000, 2000000));
+  sim.run_until(0.1);
+  EXPECT_FALSE(actuator.active_);
+  EXPECT_FALSE(coord.triggered());
+}
+
+TEST_F(CoordinatorTest, TriggerCallbackFiresOnce) {
+  PushbackCoordinator coord(&sim, make_cfg(true));
+  coord.protect(1, util::make_addr(172, 17, 0, 1));
+  FakeActuator actuator;
+  coord.register_actuator(0, &actuator);
+  int triggers = 0;
+  coord.set_trigger_callback(
+      [&](double, const std::vector<AtrScore>&) { ++triggers; });
+  coord.detector().on_epoch(make_snapshot(3, 0, 1, 200, 0));
+  coord.detector().on_epoch(make_snapshot(3, 0, 1, 200, 1000000));
+  coord.detector().on_epoch(make_snapshot(3, 0, 1, 5000, 2000000));
+  coord.detector().on_epoch(make_snapshot(3, 0, 1, 5000, 3000000));
+  sim.run_until(0.5);
+  EXPECT_EQ(triggers, 1);
+}
+
+}  // namespace
+}  // namespace mafic::pushback

@@ -1,0 +1,134 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mafic::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(3.0, [&] { order.push_back(3); });
+  q.push(1.0, [&] { order.push_back(1); });
+  q.push(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    auto ev = q.pop();
+    ev.fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBrokenByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.push(1.0, [] {});
+  q.push(2.0, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_TRUE(q.cancel(a));
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.push(1.0, [&] { ran = true; });
+  q.push(2.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  while (!q.empty()) q.pop().fn();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.push(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterPopIsHarmless) {
+  EventQueue q;
+  const EventId id = q.push(1.0, [] {});
+  q.pop();
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelInvalidIdsIsHarmless) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(kInvalidEvent));
+  EXPECT_FALSE(q.cancel(999999));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.push(1.0, [] {});
+  q.push(5.0, [] {});
+  q.cancel(early);
+  EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+}
+
+TEST(EventQueue, PopSkipsCancelledHead) {
+  EventQueue q;
+  int value = 0;
+  const EventId a = q.push(1.0, [&] { value = 1; });
+  q.push(2.0, [&] { value = 2; });
+  q.cancel(a);
+  q.pop().fn();
+  EXPECT_EQ(value, 2);
+}
+
+TEST(EventQueue, ClearEmptiesEverything) {
+  EventQueue q;
+  q.push(1.0, [] {});
+  q.push(2.0, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, IdsAreUniqueAndIncreasing) {
+  EventQueue q;
+  EventId prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    const EventId id = q.push(1.0, [] {});
+    EXPECT_GT(id, prev);
+    prev = id;
+  }
+}
+
+TEST(EventQueue, PoppedEventReportsTimeAndId) {
+  EventQueue q;
+  const EventId id = q.push(3.5, [] {});
+  auto ev = q.pop();
+  EXPECT_DOUBLE_EQ(ev.time, 3.5);
+  EXPECT_EQ(ev.id, id);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue q;
+  for (int i = 999; i >= 0; --i) {
+    q.push(static_cast<double>(i % 37), [] {});
+  }
+  double last = -1.0;
+  while (!q.empty()) {
+    auto ev = q.pop();
+    EXPECT_GE(ev.time, last);
+    last = ev.time;
+  }
+}
+
+}  // namespace
+}  // namespace mafic::sim

@@ -1,0 +1,141 @@
+// Model-based randomized tests: the event queue against a reference
+// implementation, and end-to-end conservation checks on random topologies.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+#include "topology/topology.hpp"
+#include "transport/cbr.hpp"
+#include "transport/udp.hpp"
+#include "util/rng.hpp"
+
+namespace mafic::sim {
+namespace {
+
+class EventQueueFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueFuzz, MatchesReferenceModel) {
+  util::Rng rng(GetParam());
+  EventQueue q;
+  // Reference: ordered multimap (time, id) of live events.
+  std::multimap<std::pair<SimTime, EventId>, int> model;
+  std::vector<EventId> live_ids;
+  int next_tag = 0;
+  std::vector<int> popped_real, popped_model;
+
+  for (int step = 0; step < 5000; ++step) {
+    const double action = rng.uniform01();
+    if (action < 0.55 || q.empty()) {
+      const SimTime t = rng.uniform(0.0, 100.0);
+      const int tag = next_tag++;
+      const EventId id = q.push(t, [] {});
+      model.emplace(std::make_pair(t, id), tag);
+      live_ids.push_back(id);
+    } else if (action < 0.75 && !live_ids.empty()) {
+      // Cancel a random (possibly stale) id.
+      const std::size_t pick = rng.index(live_ids.size());
+      const EventId id = live_ids[pick];
+      const bool cancelled = q.cancel(id);
+      // Mirror in the model.
+      bool in_model = false;
+      for (auto it = model.begin(); it != model.end(); ++it) {
+        if (it->first.second == id) {
+          model.erase(it);
+          in_model = true;
+          break;
+        }
+      }
+      EXPECT_EQ(cancelled, in_model);
+      live_ids.erase(live_ids.begin() + long(pick));
+    } else if (!q.empty()) {
+      auto popped = q.pop();
+      ASSERT_FALSE(model.empty());
+      const auto expect = model.begin();
+      EXPECT_DOUBLE_EQ(popped.time, expect->first.first);
+      EXPECT_EQ(popped.id, expect->first.second);
+      popped_real.push_back(int(popped.id));
+      popped_model.push_back(int(expect->first.second));
+      model.erase(expect);
+      live_ids.erase(
+          std::remove(live_ids.begin(), live_ids.end(), popped.id),
+          live_ids.end());
+    }
+    ASSERT_EQ(q.size(), model.size());
+  }
+  EXPECT_EQ(popped_real, popped_model);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 99));
+
+class ConservationFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+// On a random domain with random CBR flows, every emitted packet must be
+// accounted for: delivered to an agent, dropped with a reason, or still
+// queued/in flight when the run stops.
+TEST_P(ConservationFuzz, PacketsAreConserved) {
+  Simulator sim;
+  Network net(&sim);
+  util::Rng rng(GetParam());
+
+  topology::DomainConfig dc;
+  dc.router_count = 6 + rng.index(6);
+  dc.victim_bandwidth_bps = 2e6;  // force queue drops
+  dc.victim_queue_packets = 20;
+  topology::Domain domain(&net, rng.split(), dc);
+  domain.build_core();
+
+  PacketFactory factory;
+  std::vector<std::unique_ptr<transport::CbrSource>> sources;
+  std::vector<std::unique_ptr<transport::UdpSink>> sinks;
+  Node* victim = net.node(domain.victim_host());
+
+  const int flows = 3 + int(rng.index(6));
+  for (int i = 0; i < flows; ++i) {
+    auto& access = domain.attach_host();
+    transport::CbrSource::Config cc;
+    cc.rate_bps = rng.uniform(200e3, 2e6);
+    cc.packet_bytes = 500;
+    auto src = std::make_unique<transport::CbrSource>(
+        &sim, &factory, net.node(access.host), 5000, cc, rng.split());
+    src->connect(domain.victim_addr(), std::uint16_t(2000 + i));
+    auto sink = std::make_unique<transport::UdpSink>(
+        &sim, &factory, victim, std::uint16_t(2000 + i));
+    src->start();
+    sources.push_back(std::move(src));
+    sinks.push_back(std::move(sink));
+  }
+  net.build_routes();
+
+  std::uint64_t dropped = 0;
+  net.set_drop_handler(
+      [&](const Packet&, DropReason, NodeId) { ++dropped; });
+
+  sim.run_until(3.0);
+
+  std::uint64_t sent = 0, received = 0;
+  for (const auto& s : sources) sent += s->packets_sent();
+  for (const auto& s : sinks) received += s->packets_received();
+
+  std::uint64_t queued = 0;
+  for (const auto& link : net.links()) {
+    queued += link->queue().depth_packets();
+    queued += link->transmitter().idle() ? 0 : 1;
+  }
+  // In-flight propagation events are bounded by links count; allow them
+  // as slack alongside explicit queue occupancy.
+  EXPECT_LE(received + dropped, sent);
+  EXPECT_GE(received + dropped + queued + net.link_count(), sent);
+  EXPECT_GT(received, 0u);
+  EXPECT_GT(dropped, 0u);  // the 2 Mb/s victim link must have overflowed
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConservationFuzz,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace mafic::sim

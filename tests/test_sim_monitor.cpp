@@ -1,0 +1,63 @@
+#include "sim/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace mafic::sim {
+namespace {
+
+TEST(LinkMonitor, CountsPacketsBytesAndFlows) {
+  Simulator sim;
+  SimplexLink link(&sim, 0, 1, {});
+  class Sink final : public Connector {
+   public:
+    void recv(PacketPtr) override {}
+  } sink;
+  link.set_endpoint(&sink);
+  LinkMonitor mon(&sim, &link, 0.1);
+
+  auto send = [&](FlowId flow, std::uint32_t bytes) {
+    auto p = std::make_unique<Packet>();
+    p->flow_id = flow;
+    p->size_bytes = bytes;
+    link.entry()->recv(std::move(p));
+  };
+  send(1, 100);
+  send(1, 100);
+  send(2, 300);
+  sim.run();
+
+  EXPECT_EQ(mon.packets(), 3u);
+  EXPECT_EQ(mon.bytes(), 500u);
+  EXPECT_EQ(mon.per_flow().at(1).packets, 2u);
+  EXPECT_EQ(mon.per_flow().at(1).bytes, 200u);
+  EXPECT_EQ(mon.per_flow().at(2).packets, 1u);
+}
+
+TEST(LinkMonitor, SeriesRecordsArrivalTimes) {
+  Simulator sim;
+  SimplexLink::Config cfg;
+  cfg.bandwidth_bps = 1e9;
+  cfg.delay_s = 0.0;
+  SimplexLink link(&sim, 0, 1, cfg);
+  class Sink final : public Connector {
+   public:
+    void recv(PacketPtr) override {}
+  } sink;
+  link.set_endpoint(&sink);
+  LinkMonitor mon(&sim, &link, 0.1);
+
+  sim.schedule_at(0.25, [&] {
+    auto p = std::make_unique<Packet>();
+    p->size_bytes = 1000;
+    link.entry()->recv(std::move(p));
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(mon.byte_series().rate_at(0.25), 10000.0);
+  EXPECT_DOUBLE_EQ(mon.packet_series().rate_at(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(mon.byte_series().rate_at(0.05), 0.0);
+}
+
+}  // namespace
+}  // namespace mafic::sim

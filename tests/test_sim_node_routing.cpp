@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace mafic::sim {
+namespace {
+
+class CountingHandler final : public PacketHandler {
+ public:
+  void recv(PacketPtr p) override {
+    ++count;
+    last_uid = p->uid;
+  }
+  int count = 0;
+  std::uint64_t last_uid = 0;
+};
+
+SimplexLink::Config fast() {
+  SimplexLink::Config c;
+  c.bandwidth_bps = 1e9;
+  c.delay_s = 0.001;
+  return c;
+}
+
+SimplexLink::Config slow_path() {
+  SimplexLink::Config c;
+  c.bandwidth_bps = 1e9;
+  c.delay_s = 0.1;  // routing should avoid this
+  return c;
+}
+
+PacketPtr victim_packet(PacketFactory& f, util::Addr src, util::Addr dst,
+                        std::uint16_t dport = 80) {
+  auto p = f.make();
+  p->label = FlowLabel{src, dst, 1000, dport};
+  p->size_bytes = 100;
+  return p;
+}
+
+class NodeRoutingTest : public ::testing::Test {
+ protected:
+  // a - r1 - r2 - b, plus a slow direct link r1 - r3 - r2 alternative.
+  void SetUp() override {
+    net = std::make_unique<Network>(&sim);
+    a = net->add_host(util::make_addr(172, 16, 0, 1));
+    b = net->add_host(util::make_addr(172, 17, 0, 1));
+    r1 = net->add_router(util::make_addr(10, 0, 0, 1));
+    r2 = net->add_router(util::make_addr(10, 0, 0, 2));
+    r3 = net->add_router(util::make_addr(10, 0, 0, 3));
+    net->add_duplex(a->id(), r1->id(), fast());
+    net->add_duplex(r1->id(), r2->id(), fast());
+    net->add_duplex(r2->id(), b->id(), fast());
+    net->add_duplex(r1->id(), r3->id(), slow_path());
+    net->add_duplex(r3->id(), r2->id(), slow_path());
+    net->build_routes();
+  }
+
+  Simulator sim;
+  PacketFactory factory;
+  std::unique_ptr<Network> net;
+  Node *a{}, *b{}, *r1{}, *r2{}, *r3{};
+};
+
+TEST_F(NodeRoutingTest, EndToEndDelivery) {
+  CountingHandler h;
+  b->bind_port(80, &h);
+  a->send(victim_packet(factory, a->addr(), b->addr()));
+  sim.run();
+  EXPECT_EQ(h.count, 1);
+  EXPECT_EQ(b->stats().delivered, 1u);
+}
+
+TEST_F(NodeRoutingTest, ShortestPathAvoidsSlowDetour) {
+  CountingHandler h;
+  b->bind_port(80, &h);
+  a->send(victim_packet(factory, a->addr(), b->addr()));
+  sim.run();
+  // Fast path: 3 hops x 1ms (+ negligible tx) << detour 0.1s legs.
+  EXPECT_LT(sim.now(), 0.01);
+  EXPECT_EQ(r3->stats().forwarded, 0u);
+  EXPECT_EQ(r1->stats().forwarded, 1u);
+  EXPECT_EQ(r2->stats().forwarded, 1u);
+}
+
+TEST_F(NodeRoutingTest, RouteForKnowsNextHop) {
+  SimplexLink* out = r1->route_for(b->addr());
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->to(), r2->id());
+}
+
+TEST_F(NodeRoutingTest, UnboundPortDropsWithReason) {
+  int unbound = 0;
+  net->set_drop_handler([&](const Packet&, DropReason r, NodeId where) {
+    if (r == DropReason::kUnboundPort) {
+      ++unbound;
+      EXPECT_EQ(where, b->id());
+    }
+  });
+  a->send(victim_packet(factory, a->addr(), b->addr(), 9999));
+  sim.run();
+  EXPECT_EQ(unbound, 1);
+  EXPECT_EQ(b->stats().dropped_unbound, 1u);
+}
+
+TEST_F(NodeRoutingTest, NoRouteDrops) {
+  int noroute = 0;
+  net->set_drop_handler([&](const Packet&, DropReason r, NodeId) {
+    noroute += (r == DropReason::kNoRoute);
+  });
+  a->send(victim_packet(factory, a->addr(), util::make_addr(99, 9, 9, 9)));
+  sim.run();
+  EXPECT_EQ(noroute, 1);
+}
+
+TEST_F(NodeRoutingTest, TtlExpiryDrops) {
+  int ttl_drops = 0;
+  net->set_drop_handler([&](const Packet&, DropReason r, NodeId) {
+    ttl_drops += (r == DropReason::kTtlExpired);
+  });
+  auto p = victim_packet(factory, a->addr(), b->addr());
+  p->ttl = 1;  // dies at the first router
+  a->send(std::move(p));
+  sim.run();
+  EXPECT_EQ(ttl_drops, 1);
+  EXPECT_EQ(r1->stats().dropped_ttl, 1u);
+}
+
+TEST_F(NodeRoutingTest, LoopbackDeliversLocally) {
+  CountingHandler h;
+  a->bind_port(80, &h);
+  a->send(victim_packet(factory, a->addr(), a->addr()));
+  sim.run();
+  EXPECT_EQ(h.count, 1);
+}
+
+TEST_F(NodeRoutingTest, PortRebindReplacesHandler) {
+  CountingHandler h1, h2;
+  b->bind_port(80, &h1);
+  b->bind_port(80, &h2);
+  a->send(victim_packet(factory, a->addr(), b->addr()));
+  sim.run();
+  EXPECT_EQ(h1.count, 0);
+  EXPECT_EQ(h2.count, 1);
+}
+
+TEST_F(NodeRoutingTest, UnbindStopsDelivery) {
+  CountingHandler h;
+  b->bind_port(80, &h);
+  b->unbind_port(80);
+  a->send(victim_packet(factory, a->addr(), b->addr()));
+  sim.run();
+  EXPECT_EQ(h.count, 0);
+}
+
+TEST_F(NodeRoutingTest, NetworkLookupHelpers) {
+  EXPECT_EQ(net->node_by_addr(a->addr()), a);
+  EXPECT_EQ(net->node_by_addr(util::make_addr(1, 1, 1, 1)), nullptr);
+  EXPECT_NE(net->find_link(r1->id(), r2->id()), nullptr);
+  EXPECT_EQ(net->find_link(a->id(), b->id()), nullptr);
+  EXPECT_EQ(net->node_count(), 5u);
+  EXPECT_EQ(net->link_count(), 10u);
+}
+
+TEST_F(NodeRoutingTest, ForwardingDecrementsTtl) {
+  CountingHandler h;
+  b->bind_port(80, &h);
+  auto p = victim_packet(factory, a->addr(), b->addr());
+  p->ttl = 3;  // 2 router hops: exactly enough
+  a->send(std::move(p));
+  sim.run();
+  EXPECT_EQ(h.count, 1);
+}
+
+TEST_F(NodeRoutingTest, RoutesExistForAllDestinations) {
+  // Every node can reach every other node's address.
+  for (const auto& from : net->nodes()) {
+    for (const auto& to : net->nodes()) {
+      if (from->id() == to->id()) continue;
+      EXPECT_NE(from->route_for(to->addr()), nullptr)
+          << "no route " << from->id() << " -> " << to->id();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mafic::sim

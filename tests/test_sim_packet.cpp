@@ -1,0 +1,108 @@
+#include "sim/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mafic::sim {
+namespace {
+
+TEST(FlowLabel, EqualityAndReversal) {
+  const FlowLabel l{util::make_addr(10, 0, 0, 1), util::make_addr(10, 0, 0, 2),
+                    1234, 80};
+  EXPECT_EQ(l, l);
+  const FlowLabel r = l.reversed();
+  EXPECT_EQ(r.src, l.dst);
+  EXPECT_EQ(r.dst, l.src);
+  EXPECT_EQ(r.sport, l.dport);
+  EXPECT_EQ(r.dport, l.sport);
+  EXPECT_EQ(r.reversed(), l);
+}
+
+TEST(FlowLabel, HashDistinguishesFields) {
+  const FlowLabel base{1, 2, 3, 4};
+  EXPECT_NE(hash_label(base), hash_label(FlowLabel{9, 2, 3, 4}));
+  EXPECT_NE(hash_label(base), hash_label(FlowLabel{1, 9, 3, 4}));
+  EXPECT_NE(hash_label(base), hash_label(FlowLabel{1, 2, 9, 4}));
+  EXPECT_NE(hash_label(base), hash_label(FlowLabel{1, 2, 3, 9}));
+  EXPECT_EQ(hash_label(base), hash_label(FlowLabel{1, 2, 3, 4}));
+}
+
+TEST(FlowLabel, HashOfReverseDiffers) {
+  const FlowLabel l{1, 2, 3, 4};
+  EXPECT_NE(hash_label(l), hash_label(l.reversed()));
+}
+
+TEST(FlowLabel, FormatLabel) {
+  const FlowLabel l{util::make_addr(10, 0, 0, 1), util::make_addr(172, 16, 0, 9),
+                    1234, 80};
+  EXPECT_EQ(format_label(l), "10.0.0.1:1234>172.16.0.9:80");
+}
+
+TEST(Packet, FactoryAssignsUniqueUids) {
+  PacketFactory f;
+  std::set<std::uint64_t> uids;
+  for (int i = 0; i < 1000; ++i) {
+    auto p = f.make();
+    EXPECT_TRUE(uids.insert(p->uid).second);
+  }
+  EXPECT_EQ(f.issued(), 1000u);
+}
+
+TEST(Packet, CloneCopiesFieldsButFreshUid) {
+  PacketFactory f;
+  auto p = f.make();
+  p->label = FlowLabel{1, 2, 3, 4};
+  p->seq = 77;
+  p->size_bytes = 999;
+  auto q = f.clone(*p);
+  EXPECT_EQ(q->label, p->label);
+  EXPECT_EQ(q->seq, 77u);
+  EXPECT_EQ(q->size_bytes, 999u);
+  EXPECT_NE(q->uid, p->uid);
+}
+
+TEST(Packet, FlagHelpers) {
+  Packet p;
+  p.flags = tcp_flags::kAck | tcp_flags::kSyn;
+  EXPECT_TRUE(p.has_flag(tcp_flags::kAck));
+  EXPECT_TRUE(p.has_flag(tcp_flags::kSyn));
+  EXPECT_FALSE(p.has_flag(tcp_flags::kFin));
+}
+
+TEST(Packet, IsAckOnly) {
+  Packet p;
+  p.proto = Protocol::kTcp;
+  p.flags = tcp_flags::kAck;
+  p.size_bytes = 0;
+  EXPECT_TRUE(p.is_ack_only());
+  p.size_bytes = 1000;
+  EXPECT_FALSE(p.is_ack_only());
+  EXPECT_TRUE(p.is_ack_only(1000));
+}
+
+TEST(Packet, FreelistRecyclesMemory) {
+  Packet::trim_freelist();
+  {
+    auto p = std::make_unique<Packet>();
+    (void)p;
+  }
+  EXPECT_GE(Packet::freelist_size(), 1u);
+  const std::size_t before = Packet::freelist_size();
+  auto q = std::make_unique<Packet>();  // should reuse the cached slot
+  EXPECT_EQ(Packet::freelist_size(), before - 1);
+  q.reset();
+  Packet::trim_freelist();
+  EXPECT_EQ(Packet::freelist_size(), 0u);
+}
+
+TEST(Packet, DefaultsAreSane) {
+  Packet p;
+  EXPECT_EQ(p.flow_id, kUntrackedFlow);
+  EXPECT_EQ(p.ttl, 64);
+  EXPECT_FALSE(p.probe);
+  EXPECT_EQ(p.flags, 0);
+}
+
+}  // namespace
+}  // namespace mafic::sim

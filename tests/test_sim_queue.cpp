@@ -1,0 +1,129 @@
+#include "sim/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mafic::sim {
+namespace {
+
+PacketPtr make_packet(std::uint32_t bytes, std::uint64_t uid = 0) {
+  auto p = std::make_unique<Packet>();
+  p->size_bytes = bytes;
+  p->uid = uid;
+  return p;
+}
+
+TEST(DropTailQueue, BuffersAndDequeuesFifo) {
+  DropTailQueue q;
+  q.recv(make_packet(100, 1));
+  q.recv(make_packet(100, 2));
+  q.recv(make_packet(100, 3));
+  EXPECT_EQ(q.depth_packets(), 3u);
+  EXPECT_EQ(q.dequeue()->uid, 1u);
+  EXPECT_EQ(q.dequeue()->uid, 2u);
+  EXPECT_EQ(q.dequeue()->uid, 3u);
+  EXPECT_EQ(q.dequeue(), nullptr);
+}
+
+TEST(DropTailQueue, DropsWhenPacketCapacityExceeded) {
+  DropTailQueue q(DropTailQueue::Config{2, 0});
+  std::vector<DropReason> drops;
+  q.set_drop_handler([&](const Packet&, DropReason r, NodeId) {
+    drops.push_back(r);
+  });
+  q.recv(make_packet(100));
+  q.recv(make_packet(100));
+  q.recv(make_packet(100));  // over
+  EXPECT_EQ(q.depth_packets(), 2u);
+  ASSERT_EQ(drops.size(), 1u);
+  EXPECT_EQ(drops[0], DropReason::kQueueOverflow);
+  EXPECT_EQ(q.stats().dropped, 1u);
+}
+
+TEST(DropTailQueue, ByteCapacityBound) {
+  DropTailQueue q(DropTailQueue::Config{100, 250});
+  q.recv(make_packet(100));
+  q.recv(make_packet(100));
+  q.recv(make_packet(100));  // 300 bytes > 250
+  EXPECT_EQ(q.depth_packets(), 2u);
+  EXPECT_EQ(q.depth_bytes(), 200u);
+  EXPECT_EQ(q.stats().dropped, 1u);
+}
+
+TEST(DropTailQueue, ReadyCallbackFiresOnAccept) {
+  DropTailQueue q(DropTailQueue::Config{1, 0});
+  int ready = 0;
+  q.set_ready_callback([&] { ++ready; });
+  q.recv(make_packet(10));
+  EXPECT_EQ(ready, 1);
+  q.recv(make_packet(10));  // dropped -> no callback
+  EXPECT_EQ(ready, 1);
+}
+
+TEST(DropTailQueue, StatsTrackPeakAndCounts) {
+  DropTailQueue q;
+  q.recv(make_packet(10));
+  q.recv(make_packet(10));
+  q.dequeue();
+  q.recv(make_packet(10));
+  EXPECT_EQ(q.stats().enqueued, 3u);
+  EXPECT_EQ(q.stats().dequeued, 1u);
+  EXPECT_EQ(q.stats().peak_depth, 2u);
+}
+
+TEST(DropTailQueue, BytesTrackedThroughDequeue) {
+  DropTailQueue q;
+  q.recv(make_packet(100));
+  q.recv(make_packet(50));
+  EXPECT_EQ(q.depth_bytes(), 150u);
+  q.dequeue();
+  EXPECT_EQ(q.depth_bytes(), 50u);
+}
+
+TEST(RedQueue, ForwardsBelowMinThreshold) {
+  RedQueue q(util::Rng(1), RedQueue::Config{64, 5, 15, 0.1, 0.5});
+  for (int i = 0; i < 4; ++i) q.recv(make_packet(10));
+  EXPECT_EQ(q.stats().dropped, 0u);
+  EXPECT_EQ(q.depth_packets(), 4u);
+}
+
+TEST(RedQueue, HardDropAtCapacity) {
+  RedQueue q(util::Rng(1), RedQueue::Config{3, 100, 200, 0.1, 0.002});
+  for (int i = 0; i < 5; ++i) q.recv(make_packet(10));
+  EXPECT_EQ(q.depth_packets(), 3u);
+  EXPECT_EQ(q.stats().dropped, 2u);
+}
+
+TEST(RedQueue, EarlyDropsWhenAverageHigh) {
+  // High EWMA weight makes the average track the instantaneous depth, so
+  // sustained occupancy above max_threshold forces early drops.
+  RedQueue q(util::Rng(7), RedQueue::Config{64, 2, 4, 0.5, 0.9});
+  int accepted = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto before = q.stats().enqueued;
+    q.recv(make_packet(10));
+    accepted += (q.stats().enqueued > before);
+  }
+  EXPECT_GT(q.stats().dropped, 0u);
+  EXPECT_LT(accepted, 50);
+}
+
+TEST(RedQueue, AverageTracksOccupancy) {
+  RedQueue q(util::Rng(1), RedQueue::Config{64, 50, 60, 0.1, 1.0});
+  for (int i = 0; i < 10; ++i) q.recv(make_packet(10));
+  // With weight 1.0 the average equals the pre-arrival depth.
+  EXPECT_NEAR(q.average_depth(), 9.0, 1e-9);
+}
+
+TEST(RedQueue, DequeueFifo) {
+  RedQueue q(util::Rng(1));
+  q.recv(make_packet(10, 1));
+  q.recv(make_packet(10, 2));
+  EXPECT_EQ(q.dequeue()->uid, 1u);
+  EXPECT_EQ(q.dequeue()->uid, 2u);
+  EXPECT_EQ(q.dequeue(), nullptr);
+}
+
+}  // namespace
+}  // namespace mafic::sim

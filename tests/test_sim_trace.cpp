@@ -1,0 +1,109 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/network.hpp"
+
+namespace mafic::sim {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net = std::make_unique<Network>(&sim);
+    a = net->add_host(util::make_addr(172, 16, 0, 1));
+    b = net->add_host(util::make_addr(172, 17, 0, 1));
+    SimplexLink::Config cfg;
+    cfg.bandwidth_bps = 1e6;
+    cfg.delay_s = 0.01;
+    auto [fwd, bwd] = net->add_duplex(a->id(), b->id(), cfg);
+    forward = fwd;
+    (void)bwd;
+    net->build_routes();
+  }
+
+  PacketPtr packet(std::uint32_t seq = 1) {
+    auto p = factory.make();
+    p->label = FlowLabel{a->addr(), b->addr(), 5000, 80};
+    p->proto = Protocol::kTcp;
+    p->flags = tcp_flags::kAck;
+    p->size_bytes = 1000;
+    p->seq = seq;
+    p->flow_id = 12;
+    return p;
+  }
+
+  Simulator sim;
+  PacketFactory factory;
+  std::unique_ptr<Network> net;
+  Node *a{}, *b{};
+  SimplexLink* forward{};
+};
+
+TEST_F(TraceTest, RecordsEnqueueAndReceive) {
+  std::ostringstream out;
+  TraceWriter writer(&out);
+  LinkTracer tracer(&sim, forward, &writer);
+
+  a->send(packet());
+  sim.run();
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("+ 0.000000"), std::string::npos);
+  EXPECT_NE(text.find("r 0.018000"), std::string::npos);  // 8ms tx + 10ms
+  EXPECT_NE(text.find("tcp 1000 ---A 12"), std::string::npos);
+  EXPECT_NE(text.find("172.16.0.1:5000 172.17.0.1:80"), std::string::npos);
+  EXPECT_EQ(writer.events_recorded(), 2u);
+  EXPECT_EQ(writer.lines_written(), 2u);
+}
+
+TEST_F(TraceTest, DropHandlerRecordsReason) {
+  std::ostringstream out;
+  TraceWriter writer(&out);
+  forward->set_drop_handler(trace_drop_handler(&writer, &sim));
+
+  // Overflow the queue: 64-packet default + 1 transmitting.
+  for (int i = 0; i < 80; ++i) a->send(packet(std::uint32_t(i)));
+  sim.run();
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("d "), std::string::npos);
+  EXPECT_NE(text.find("queue-overflow"), std::string::npos);
+  EXPECT_GT(writer.events_recorded(), 10u);
+}
+
+TEST_F(TraceTest, ProbePacketsFlagged) {
+  std::ostringstream out;
+  TraceWriter writer(&out);
+  LinkTracer tracer(&sim, forward, &writer);
+  auto p = packet();
+  p->probe = true;
+  a->send(std::move(p));
+  sim.run();
+  EXPECT_NE(out.str().find("--PA"), std::string::npos);
+}
+
+TEST_F(TraceTest, LineLimitCapsOutputButCountsEvents) {
+  std::ostringstream out;
+  TraceWriter writer(&out);
+  writer.set_line_limit(3);
+  LinkTracer tracer(&sim, forward, &writer);
+  for (int i = 0; i < 10; ++i) a->send(packet(std::uint32_t(i)));
+  sim.run();
+  EXPECT_EQ(writer.lines_written(), 3u);
+  EXPECT_EQ(writer.events_recorded(), 20u);  // 10 enqueues + 10 receives
+}
+
+TEST_F(TraceTest, NullStreamCountsOnly) {
+  TraceWriter writer(nullptr);
+  LinkTracer tracer(&sim, forward, &writer);
+  a->send(packet());
+  sim.run();
+  EXPECT_EQ(writer.events_recorded(), 2u);
+  EXPECT_EQ(writer.lines_written(), 0u);
+}
+
+}  // namespace
+}  // namespace mafic::sim

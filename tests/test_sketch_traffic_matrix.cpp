@@ -1,0 +1,154 @@
+#include "sketch/traffic_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "sim/network.hpp"
+#include "sketch/router_tap.hpp"
+
+namespace mafic::sketch {
+namespace {
+
+TEST(RouterSketchBank, RecordsPerRouter) {
+  RouterSketchBank bank(3, 10, 42);
+  for (std::uint64_t i = 0; i < 20000; ++i) bank.record_ingress(0, i);
+  for (std::uint64_t i = 0; i < 5000; ++i) bank.record_egress(2, i);
+  EXPECT_NEAR(bank.s(0).estimate(), 20000.0, 3000.0);
+  EXPECT_LT(bank.s(1).estimate(), 500.0);
+  EXPECT_NEAR(bank.d(2).estimate(), 5000.0, 1500.0);
+}
+
+TEST(RouterSketchBank, CountersAreMutuallyCompatible) {
+  RouterSketchBank bank(4, 10, 7);
+  EXPECT_TRUE(bank.s(0).compatible(bank.d(3)));
+  EXPECT_TRUE(bank.s(1).compatible(bank.s(2)));
+}
+
+TEST(RouterSketchBank, ResetClearsAll) {
+  RouterSketchBank bank(2, 10, 7);
+  for (std::uint64_t i = 0; i < 10000; ++i) bank.record_ingress(0, i);
+  bank.reset();
+  EXPECT_LT(bank.s(0).estimate(), 500.0);
+}
+
+TEST(RouterSketchBank, MemoryScalesWithRouters) {
+  EXPECT_EQ(RouterSketchBank(10, 10, 0).memory_bytes(), 10u * 2u * 1024u);
+}
+
+TEST(ExactSketchBank, GroundTruthIntersection) {
+  ExactSketchBank bank(3);
+  for (std::uint64_t i = 0; i < 100; ++i) bank.record_ingress(0, i);
+  for (std::uint64_t i = 50; i < 150; ++i) bank.record_egress(2, i);
+  EXPECT_DOUBLE_EQ(bank.intersection(0, 2), 50.0);
+  EXPECT_DOUBLE_EQ(bank.s_count(0), 100.0);
+  EXPECT_DOUBLE_EQ(bank.d_count(2), 100.0);
+  EXPECT_DOUBLE_EQ(bank.intersection(1, 2), 0.0);
+}
+
+TEST(TrafficMatrix, SketchTracksExactWithinTolerance) {
+  RouterSketchBank bank(2, 12, 9);
+  ExactSketchBank exact(2);
+  // 30k packets from router 0 to "router 1's hosts", 10k elsewhere.
+  for (std::uint64_t i = 0; i < 30000; ++i) {
+    bank.record_ingress(0, i);
+    exact.record_ingress(0, i);
+    bank.record_egress(1, i);
+    exact.record_egress(1, i);
+  }
+  for (std::uint64_t i = 100000; i < 110000; ++i) {
+    bank.record_ingress(0, i);
+    exact.record_ingress(0, i);
+  }
+  const double est = intersection_estimate(bank.s(0), bank.d(1));
+  EXPECT_NEAR(est, exact.intersection(0, 1), 30000.0 * 0.25);
+}
+
+TEST(TrafficMonitor, EpochsFireAndReset) {
+  sim::Simulator sim;
+  RouterSketchBank bank(2, 10, 1);
+  TrafficMonitor monitor(&sim, &bank, 0.1);
+  std::vector<TrafficMatrixSnapshot> snaps;
+  monitor.subscribe([&](const TrafficMatrixSnapshot& s) {
+    snaps.push_back(s);
+  });
+  monitor.start();
+
+  // 1000 packets in the first epoch only.
+  sim.schedule_at(0.05, [&] {
+    for (std::uint64_t i = 0; i < 1000; ++i) bank.record_ingress(0, i);
+  });
+  sim.run_until(0.35);
+  monitor.stop();
+
+  ASSERT_EQ(snaps.size(), 3u);
+  EXPECT_EQ(snaps[0].epoch_index, 0u);
+  EXPECT_NEAR(snaps[0].s_count(0), 1000.0, 300.0);
+  EXPECT_LT(snaps[1].s_count(0), 300.0);  // bank was reset
+  EXPECT_NEAR(snaps[0].duration(), 0.1, 1e-9);
+  EXPECT_EQ(monitor.epochs_completed(), 3u);
+}
+
+TEST(TrafficMonitor, StopPreventsFurtherEpochs) {
+  sim::Simulator sim;
+  RouterSketchBank bank(1, 10, 1);
+  TrafficMonitor monitor(&sim, &bank, 0.1);
+  int count = 0;
+  monitor.subscribe([&](const TrafficMatrixSnapshot&) { ++count; });
+  monitor.start();
+  sim.run_until(0.25);
+  monitor.stop();
+  sim.run_until(1.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(TrafficMatrixSnapshot, ColumnComputesAij) {
+  RouterSketchBank bank(3, 12, 5);
+  // Router 0 injects packets that leave at router 2.
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    bank.record_ingress(0, i);
+    bank.record_egress(2, i);
+  }
+  // Router 1 injects unrelated packets that leave elsewhere.
+  for (std::uint64_t i = 500000; i < 520000; ++i) bank.record_ingress(1, i);
+
+  sim::Simulator sim;
+  TrafficMonitor monitor(&sim, &bank, 0.1);
+  TrafficMatrixSnapshot snap;
+  monitor.subscribe([&](const TrafficMatrixSnapshot& s) { snap = s; });
+  monitor.start();
+  sim.run_until(0.1);
+
+  const auto col = snap.column(2);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_GT(col[0], 12000.0);  // strong overlap
+  EXPECT_LT(col[1], 8000.0);   // unrelated traffic
+}
+
+TEST(RouterTaps, AttachedTapsRecordTraffic) {
+  sim::Simulator sim;
+  sim::Network net(&sim);
+  sim::Node* host = net.add_host(util::make_addr(172, 16, 0, 1));
+  sim::Node* router = net.add_router(util::make_addr(10, 0, 0, 1));
+  auto [down, up] = net.add_duplex(router->id(), host->id(), {});
+  net.build_routes();
+
+  RouterSketchBank bank(1, 10, 3);
+  ExactSketchBank exact(1);
+  attach_ingress_counter(up, 0, &bank, &exact);
+  attach_egress_counter(down, 0, &bank, &exact);
+
+  sim::PacketFactory factory;
+  for (int i = 0; i < 100; ++i) {
+    auto p = factory.make();
+    p->label = sim::FlowLabel{host->addr(), router->addr(), 1, 2};
+    p->size_bytes = 100;
+    host->send(std::move(p));
+  }
+  sim.run();
+  EXPECT_DOUBLE_EQ(exact.s_count(0), 100.0);
+  EXPECT_DOUBLE_EQ(exact.d_count(0), 0.0);
+  EXPECT_GT(bank.s(0).items_added(), 0u);
+}
+
+}  // namespace
+}  // namespace mafic::sketch

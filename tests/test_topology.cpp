@@ -1,0 +1,168 @@
+#include "topology/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/simulator.hpp"
+
+namespace mafic::topology {
+namespace {
+
+TEST(Dumbbell, StructureAndRouting) {
+  sim::Simulator sim;
+  sim::Network net(&sim);
+  DumbbellConfig cfg;
+  cfg.left_hosts = 3;
+  cfg.right_hosts = 2;
+  const Dumbbell d = build_dumbbell(net, cfg);
+
+  EXPECT_EQ(d.left_hosts.size(), 3u);
+  EXPECT_EQ(d.right_hosts.size(), 2u);
+  ASSERT_NE(d.bottleneck_forward, nullptr);
+  EXPECT_EQ(d.bottleneck_forward->from(), d.left_router);
+  EXPECT_EQ(d.bottleneck_forward->to(), d.right_router);
+  // 2 routers + 5 hosts; duplex everywhere: 2*(1 + 5) links.
+  EXPECT_EQ(net.node_count(), 7u);
+  EXPECT_EQ(net.link_count(), 12u);
+
+  // Left host can route to right host.
+  sim::Node* lh = net.node(d.left_hosts[0]);
+  sim::Node* rh = net.node(d.right_hosts[0]);
+  EXPECT_NE(lh->route_for(rh->addr()), nullptr);
+}
+
+class DomainTest : public ::testing::Test {
+ protected:
+  void build(std::size_t routers) {
+    cfg.router_count = routers;
+    net = std::make_unique<sim::Network>(&sim);
+    domain = std::make_unique<Domain>(net.get(), util::Rng(11), cfg);
+    domain->build_core();
+  }
+
+  sim::Simulator sim;
+  DomainConfig cfg;
+  std::unique_ptr<sim::Network> net;
+  std::unique_ptr<Domain> domain;
+};
+
+TEST_F(DomainTest, BuildsRequestedRouterCount) {
+  build(40);
+  EXPECT_EQ(domain->routers().size(), 40u);
+  EXPECT_NE(domain->victim_host(), sim::kInvalidNode);
+  EXPECT_EQ(domain->victim_router(), domain->routers().front());
+}
+
+TEST_F(DomainTest, VictimLinkUsesVictimConfig) {
+  cfg.victim_bandwidth_bps = 1.5e6;
+  build(10);
+  EXPECT_DOUBLE_EQ(
+      domain->victim_access().downlink->config().bandwidth_bps, 1.5e6);
+}
+
+TEST_F(DomainTest, CoreIsConnected) {
+  build(60);
+  net->build_routes();
+  // Every router must reach the victim host.
+  const util::Addr victim = domain->victim_addr();
+  for (const auto r : domain->routers()) {
+    if (r == domain->victim_router()) continue;
+    EXPECT_NE(net->node(r)->route_for(victim), nullptr)
+        << "router " << r << " cannot reach the victim";
+  }
+}
+
+TEST_F(DomainTest, AttachHostAllocatesUniqueRegisteredAddresses) {
+  build(10);
+  std::set<util::Addr> addrs;
+  for (int i = 0; i < 50; ++i) {
+    auto& access = domain->attach_host();
+    sim::Node* host = net->node(access.host);
+    EXPECT_TRUE(addrs.insert(host->addr()).second);
+    EXPECT_TRUE(domain->validator().is_reachable(host->addr()));
+    EXPECT_NE(access.router, domain->victim_router());
+    EXPECT_EQ(access.uplink->from(), access.host);
+    EXPECT_EQ(access.uplink->to(), access.router);
+    EXPECT_EQ(access.downlink->from(), access.router);
+  }
+  EXPECT_EQ(domain->host_addresses().size(), 50u);
+}
+
+TEST_F(DomainTest, AttachHostToSpecificRouter) {
+  build(10);
+  const sim::NodeId target = domain->routers()[5];
+  auto& access = domain->attach_host(target);
+  EXPECT_EQ(access.router, target);
+}
+
+TEST_F(DomainTest, AttachHostRejectsUnknownRouter) {
+  build(5);
+  EXPECT_THROW(domain->attach_host(sim::NodeId{9999}), std::invalid_argument);
+}
+
+TEST_F(DomainTest, HostsReachVictimAfterRouting) {
+  build(20);
+  std::vector<sim::NodeId> hosts;
+  for (int i = 0; i < 10; ++i) hosts.push_back(domain->attach_host().host);
+  net->build_routes();
+  for (const auto h : hosts) {
+    EXPECT_NE(net->node(h)->route_for(domain->victim_addr()), nullptr);
+  }
+}
+
+TEST_F(DomainTest, SpoofSubnetsBehaveAsDocumented) {
+  build(10);
+  auto& access = domain->attach_host();
+  (void)access;
+  const auto& v = domain->validator();
+  // Unreachable: legal prefix, never allocated.
+  const util::Addr u = domain->unreachable_subnet().base + 1;
+  EXPECT_TRUE(v.is_legal(u));
+  EXPECT_FALSE(v.is_reachable(u));
+  // Illegal: outside every registered subnet.
+  const util::Addr i = domain->illegal_subnet().base + 1;
+  EXPECT_FALSE(v.is_legal(i));
+}
+
+TEST_F(DomainTest, IngressRoutersExcludeVictimRouter) {
+  build(10);
+  const auto ingress = domain->ingress_routers();
+  EXPECT_EQ(ingress.size(), 9u);
+  for (const auto r : ingress) EXPECT_NE(r, domain->victim_router());
+}
+
+TEST_F(DomainTest, BuildCoreTwiceThrows) {
+  build(5);
+  EXPECT_THROW(domain->build_core(), std::logic_error);
+}
+
+TEST_F(DomainTest, TooFewRoutersThrows) {
+  cfg.router_count = 1;
+  net = std::make_unique<sim::Network>(&sim);
+  domain = std::make_unique<Domain>(net.get(), util::Rng(1), cfg);
+  EXPECT_THROW(domain->build_core(), std::invalid_argument);
+}
+
+class DomainSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DomainSizeSweep, AllSizesConnected) {
+  sim::Simulator sim;
+  sim::Network net(&sim);
+  DomainConfig cfg;
+  cfg.router_count = GetParam();
+  Domain domain(&net, util::Rng(3), cfg);
+  domain.build_core();
+  for (int i = 0; i < 5; ++i) domain.attach_host();
+  net.build_routes();
+  for (const auto& access : domain.access_links()) {
+    EXPECT_NE(net.node(access.host)->route_for(domain.victim_addr()),
+              nullptr);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRange, DomainSizeSweep,
+                         ::testing::Values(20, 40, 80, 120, 160));
+
+}  // namespace
+}  // namespace mafic::topology

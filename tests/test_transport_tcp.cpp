@@ -1,0 +1,203 @@
+#include "transport/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+#include "topology/topology.hpp"
+#include "transport/tcp_sink.hpp"
+
+namespace mafic::transport {
+namespace {
+
+class TcpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net = std::make_unique<sim::Network>(&sim);
+    topology::DumbbellConfig cfg;
+    cfg.left_hosts = 1;
+    cfg.right_hosts = 1;
+    cfg.bottleneck_bandwidth_bps = 5e6;
+    cfg.bottleneck_delay_s = 0.02;
+    bell = topology::build_dumbbell(*net, cfg);
+    src_node = net->node(bell.left_hosts[0]);
+    dst_node = net->node(bell.right_hosts[0]);
+
+    sender = std::make_unique<TcpSender>(&sim, &factory, src_node, 5000);
+    sink = std::make_unique<TcpSink>(&sim, &factory, dst_node, 80);
+    sender->connect(dst_node->addr(), 80);
+    sink->connect(src_node->addr(), 5000);
+  }
+
+  sim::Simulator sim;
+  sim::PacketFactory factory;
+  std::unique_ptr<sim::Network> net;
+  topology::Dumbbell bell;
+  sim::Node* src_node{};
+  sim::Node* dst_node{};
+  std::unique_ptr<TcpSender> sender;
+  std::unique_ptr<TcpSink> sink;
+};
+
+TEST_F(TcpTest, DeliversInOrderStream) {
+  sender->start();
+  sim.run_until(2.0);
+  sender->stop();
+  EXPECT_GT(sink->stats().unique_delivered, 100u);
+  // Cumulative delivery: everything below rcv_nxt arrived exactly once.
+  EXPECT_EQ(sink->rcv_nxt(), sink->stats().unique_delivered + 1);
+}
+
+TEST_F(TcpTest, SaturatesBottleneckWithinTwentyPercent) {
+  sender->start();
+  sim.run_until(3.0);
+  // 5 Mb/s bottleneck, 1000-byte packets -> 625 pkt/s. Measure the second
+  // half (after slow start).
+  const double goodput_pps =
+      double(sink->stats().unique_delivered) / 3.0;
+  EXPECT_GT(goodput_pps, 0.5 * 625.0);
+  EXPECT_LE(goodput_pps, 1.05 * 625.0);
+}
+
+TEST_F(TcpTest, SlowStartDoublesWindow) {
+  sender->start();
+  // After a couple of RTTs (RTT ~ 48ms) cwnd should have grown well past
+  // the initial value but the run is too short for saturation losses.
+  sim.run_until(0.3);
+  EXPECT_GT(sender->cwnd(), 8.0);
+  EXPECT_EQ(sender->stats().timeouts, 0u);
+}
+
+TEST_F(TcpTest, RttEstimateTracksPathRtt) {
+  sender->start();
+  sim.run_until(1.0);
+  // Path RTT: 2 x (2 + 20 + 2) ms = 48 ms plus queueing.
+  EXPECT_GT(sender->srtt(), 0.04);
+  EXPECT_LT(sender->srtt(), 0.30);
+}
+
+TEST_F(TcpTest, ThreeDupAcksTriggerFastRetransmit) {
+  sender->start();
+  sim.run_until(0.5);
+  const auto before = sender->stats().fast_recoveries;
+  const double cwnd_before = sender->cwnd();
+  // Inject 3 duplicate ACKs (ack_no = 0 never advances snd_una) — exactly
+  // what a MAFIC probe does.
+  for (int i = 0; i < 3; ++i) {
+    auto p = factory.make();
+    p->label = sender->label().reversed();
+    p->proto = sim::Protocol::kTcp;
+    p->flags = sim::tcp_flags::kAck;
+    p->ack_no = 0;
+    src_node->send(std::move(p));
+  }
+  sim.run_until(0.6);
+  EXPECT_EQ(sender->stats().fast_recoveries, before + 1);
+  EXPECT_LT(sender->cwnd(), cwnd_before);
+  EXPECT_GT(sender->stats().retransmits, 0u);
+}
+
+TEST_F(TcpTest, FewerThanThreeDupAcksDoNothing) {
+  sender->start();
+  sim.run_until(0.5);
+  const auto before = sender->stats().fast_recoveries;
+  for (int i = 0; i < 2; ++i) {
+    auto p = factory.make();
+    p->label = sender->label().reversed();
+    p->proto = sim::Protocol::kTcp;
+    p->flags = sim::tcp_flags::kAck;
+    p->ack_no = 0;
+    src_node->send(std::move(p));
+  }
+  sim.run_until(0.6);
+  EXPECT_EQ(sender->stats().fast_recoveries, before);
+}
+
+TEST_F(TcpTest, LossRecoveryViaSinkDupAcks) {
+  // Tiny bottleneck queue forces drops; the sink's duplicate ACKs must
+  // drive fast retransmits and keep the stream progressing.
+  sender->start();
+  sim.run_until(3.0);
+  EXPECT_GT(sender->stats().fast_recoveries + sender->stats().timeouts, 0u);
+  EXPECT_GT(sink->stats().dup_acks_sent, 0u);
+  EXPECT_GT(sink->stats().unique_delivered, 500u);
+}
+
+TEST_F(TcpTest, StopHaltsTransmission) {
+  sender->start();
+  sim.run_until(0.5);
+  sender->stop();
+  const auto sent = sender->stats().data_packets_sent;
+  sim.run_until(1.5);
+  EXPECT_EQ(sender->stats().data_packets_sent, sent);
+}
+
+TEST_F(TcpTest, SinkEchoesTimestamps) {
+  sender->start();
+  sim.run_until(0.2);
+  EXPECT_GT(sink->stats().acks_sent, 0u);
+  // The sender derived RTT samples, so the echo worked.
+  EXPECT_GT(sender->srtt(), 0.0);
+}
+
+TEST_F(TcpTest, SinkBuffersOutOfOrder) {
+  // Drive the sink directly: deliver 1, 3, 4, then 2.
+  auto data = [&](std::uint32_t seq) {
+    auto p = factory.make();
+    p->label = sim::FlowLabel{src_node->addr(), dst_node->addr(), 5000, 80};
+    p->proto = sim::Protocol::kTcp;
+    p->size_bytes = 1000;
+    p->seq = seq;
+    sink->recv(std::move(p));
+  };
+  data(1);
+  EXPECT_EQ(sink->rcv_nxt(), 2u);
+  data(3);
+  data(4);
+  EXPECT_EQ(sink->rcv_nxt(), 2u);  // gap at 2
+  EXPECT_EQ(sink->stats().dup_acks_sent, 2u);
+  data(2);  // fills the gap; 3 and 4 drain from the buffer
+  EXPECT_EQ(sink->rcv_nxt(), 5u);
+  EXPECT_EQ(sink->stats().unique_delivered, 4u);
+}
+
+TEST_F(TcpTest, DuplicateDataAcknowledgedNotDoubleCounted) {
+  auto data = [&](std::uint32_t seq) {
+    auto p = factory.make();
+    p->label = sim::FlowLabel{src_node->addr(), dst_node->addr(), 5000, 80};
+    p->proto = sim::Protocol::kTcp;
+    p->size_bytes = 1000;
+    p->seq = seq;
+    sink->recv(std::move(p));
+  };
+  data(1);
+  data(1);
+  EXPECT_EQ(sink->stats().unique_delivered, 1u);
+  EXPECT_EQ(sink->stats().duplicate_data, 1u);
+}
+
+TEST_F(TcpTest, SenderIgnoresNonAckPackets) {
+  sender->start();
+  sim.run_until(0.1);
+  const auto acks = sender->stats().acks_received;
+  auto p = factory.make();
+  p->label = sender->label().reversed();
+  p->proto = sim::Protocol::kUdp;  // not TCP
+  src_node->send(std::move(p));
+  sim.run_until(0.2);
+  // The UDP packet must not have been counted as an ACK.
+  EXPECT_GE(sender->stats().acks_received, acks);
+  EXPECT_EQ(sender->stats().dup_acks_received, 0u);
+}
+
+TEST_F(TcpTest, TimeoutCollapsesWindow) {
+  sender->start();
+  sim.run_until(0.3);
+  // Sever the path: unbind the sink so ACKs stop.
+  dst_node->unbind_port(80);
+  sim.run_until(3.0);
+  EXPECT_GT(sender->stats().timeouts, 0u);
+  EXPECT_LE(sender->cwnd(), 2.0);
+}
+
+}  // namespace
+}  // namespace mafic::transport

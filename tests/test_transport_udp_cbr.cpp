@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+#include "topology/topology.hpp"
+#include "transport/cbr.hpp"
+#include "transport/udp.hpp"
+
+namespace mafic::transport {
+namespace {
+
+class CbrTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net = std::make_unique<sim::Network>(&sim);
+    topology::DumbbellConfig cfg;
+    cfg.left_hosts = 1;
+    cfg.right_hosts = 1;
+    bell = topology::build_dumbbell(*net, cfg);
+    src_node = net->node(bell.left_hosts[0]);
+    dst_node = net->node(bell.right_hosts[0]);
+    sink = std::make_unique<UdpSink>(&sim, &factory, dst_node, 80);
+  }
+
+  CbrSource::Config cbr_cfg(double rate, std::uint32_t bytes,
+                            double jitter = 0.0) {
+    CbrSource::Config c;
+    c.rate_bps = rate;
+    c.packet_bytes = bytes;
+    c.jitter_fraction = jitter;
+    return c;
+  }
+
+  sim::Simulator sim;
+  sim::PacketFactory factory;
+  std::unique_ptr<sim::Network> net;
+  topology::Dumbbell bell;
+  sim::Node* src_node{};
+  sim::Node* dst_node{};
+  std::unique_ptr<UdpSink> sink;
+};
+
+TEST_F(CbrTest, RateIsAccurateWithoutJitter) {
+  CbrSource src(&sim, &factory, src_node, 5000, cbr_cfg(800e3, 1000),
+                util::Rng(1));
+  src.connect(dst_node->addr(), 80);
+  src.start();
+  sim.run_until(5.0);
+  src.stop();
+  // 800 kb/s / 8000 bits = 100 pkt/s over 5 s = 500 packets.
+  EXPECT_NEAR(double(src.packets_sent()), 500.0, 10.0);
+  EXPECT_NEAR(double(sink->packets_received()), 500.0, 10.0);
+}
+
+TEST_F(CbrTest, RateHoldsUnderJitter) {
+  CbrSource src(&sim, &factory, src_node, 5000, cbr_cfg(800e3, 1000, 0.2),
+                util::Rng(7));
+  src.connect(dst_node->addr(), 80);
+  src.start();
+  sim.run_until(5.0);
+  EXPECT_NEAR(double(src.packets_sent()), 500.0, 25.0);
+}
+
+TEST_F(CbrTest, StopHaltsEmission) {
+  CbrSource src(&sim, &factory, src_node, 5000, cbr_cfg(800e3, 1000),
+                util::Rng(1));
+  src.connect(dst_node->addr(), 80);
+  src.start();
+  sim.run_until(1.0);
+  src.stop();
+  const auto sent = src.packets_sent();
+  sim.run_until(3.0);
+  EXPECT_EQ(src.packets_sent(), sent);
+}
+
+TEST_F(CbrTest, RestartResumes) {
+  CbrSource src(&sim, &factory, src_node, 5000, cbr_cfg(800e3, 1000),
+                util::Rng(1));
+  src.connect(dst_node->addr(), 80);
+  src.start();
+  sim.run_until(1.0);
+  src.stop();
+  const auto sent = src.packets_sent();
+  src.start();
+  sim.run_until(2.0);
+  EXPECT_GT(src.packets_sent(), sent);
+}
+
+TEST_F(CbrTest, IgnoresIncomingPackets) {
+  CbrSource src(&sim, &factory, src_node, 5000, cbr_cfg(800e3, 1000),
+                util::Rng(1));
+  src.connect(dst_node->addr(), 80);
+  auto p = factory.make();
+  p->label = src.label().reversed();
+  src.recv(std::move(p));
+  EXPECT_EQ(src.ignored_packets(), 1u);
+}
+
+TEST_F(CbrTest, UdpSenderStampsSequentialSeqs) {
+  UdpSender src(&sim, &factory, src_node, 5000);
+  src.connect(dst_node->addr(), 80);
+  std::vector<std::uint32_t> seqs;
+  sink->set_observer([&](const sim::Packet& p) { seqs.push_back(p.seq); });
+  src.send_datagram(500);
+  src.send_datagram(500);
+  src.send_datagram(500);
+  sim.run();
+  EXPECT_EQ(seqs, (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_EQ(sink->bytes_received(), 1500u);
+}
+
+TEST_F(CbrTest, PacketsCarryFlowIdAndLabel) {
+  CbrSource src(&sim, &factory, src_node, 5000, cbr_cfg(800e3, 500),
+                util::Rng(1));
+  src.connect(dst_node->addr(), 80);
+  src.set_flow_id(77);
+  bool checked = false;
+  sink->set_observer([&](const sim::Packet& p) {
+    EXPECT_EQ(p.flow_id, 77u);
+    EXPECT_EQ(p.label.src, src_node->addr());
+    EXPECT_EQ(p.label.dport, 80);
+    EXPECT_EQ(p.proto, sim::Protocol::kUdp);
+    checked = true;
+  });
+  src.start();
+  sim.run_until(0.5);
+  EXPECT_TRUE(checked);
+}
+
+}  // namespace
+}  // namespace mafic::transport

@@ -1,0 +1,78 @@
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+namespace mafic::util {
+namespace {
+
+TEST(Hash, Mix64IsDeterministic) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+}
+
+TEST(Hash, Mix64AvalancheOnSingleBitFlips) {
+  // Flipping one input bit should flip roughly half the output bits.
+  const std::uint64_t base = 0x0123456789abcdefULL;
+  const std::uint64_t h0 = mix64(base);
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t h1 = mix64(base ^ (1ULL << bit));
+    const int flipped = std::popcount(h0 ^ h1);
+    EXPECT_GT(flipped, 16) << "weak avalanche at bit " << bit;
+    EXPECT_LT(flipped, 48) << "weak avalanche at bit " << bit;
+  }
+}
+
+TEST(Hash, Mix64FewCollisionsOnSequentialInputs) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 100000; ++i) outputs.insert(mix64(i));
+  EXPECT_EQ(outputs.size(), 100000u);
+}
+
+TEST(Hash, HashCombineOrderMatters) {
+  EXPECT_NE(hash_combine(hash_combine(0, 1), 2),
+            hash_combine(hash_combine(0, 2), 1));
+}
+
+TEST(Hash, HashCombineDiffersFromInputs) {
+  const std::uint64_t h = hash_combine(123, 456);
+  EXPECT_NE(h, 123u);
+  EXPECT_NE(h, 456u);
+}
+
+TEST(Hash, Fnv1aKnownValues) {
+  // FNV-1a 64-bit offset basis for the empty string.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+  EXPECT_NE(fnv1a64("ab"), fnv1a64("ba"));
+}
+
+TEST(Hash, SeededHashDiffersBySeed) {
+  const std::uint64_t x = 789;
+  EXPECT_NE(seeded_hash(1, x), seeded_hash(2, x));
+  EXPECT_EQ(seeded_hash(1, x), seeded_hash(1, x));
+}
+
+TEST(Hash, SeededHashUniformHighBits) {
+  // The sketch uses the top bits for bucketing; verify rough uniformity.
+  constexpr int kBuckets = 16;
+  int counts[kBuckets] = {};
+  const int n = 160000;
+  for (int i = 0; i < n; ++i) {
+    counts[seeded_hash(7, std::uint64_t(i)) >> 60] += 1;
+  }
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], n / kBuckets, n / kBuckets * 0.1);
+  }
+}
+
+TEST(Hash, ConstexprUsable) {
+  constexpr std::uint64_t h = mix64(5);
+  static_assert(h == mix64(5));
+  EXPECT_EQ(h, mix64(5));
+}
+
+}  // namespace
+}  // namespace mafic::util

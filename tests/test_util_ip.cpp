@@ -1,0 +1,103 @@
+#include "util/ip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mafic::util {
+namespace {
+
+TEST(Addr, MakeAndFormat) {
+  const Addr a = make_addr(10, 0, 3, 17);
+  EXPECT_EQ(format_addr(a), "10.0.3.17");
+  EXPECT_EQ(format_addr(make_addr(255, 255, 255, 255)), "255.255.255.255");
+  EXPECT_EQ(format_addr(make_addr(0, 0, 0, 1)), "0.0.0.1");
+}
+
+TEST(Subnet, MaskComputation) {
+  EXPECT_EQ((Subnet{0, 0}).mask(), 0u);
+  EXPECT_EQ((Subnet{0, 8}).mask(), 0xff000000u);
+  EXPECT_EQ((Subnet{0, 24}).mask(), 0xffffff00u);
+  EXPECT_EQ((Subnet{0, 32}).mask(), 0xffffffffu);
+}
+
+TEST(Subnet, Contains) {
+  const Subnet s{make_addr(172, 16, 5, 0), 24};
+  EXPECT_TRUE(s.contains(make_addr(172, 16, 5, 1)));
+  EXPECT_TRUE(s.contains(make_addr(172, 16, 5, 255)));
+  EXPECT_FALSE(s.contains(make_addr(172, 16, 6, 1)));
+  EXPECT_FALSE(s.contains(make_addr(10, 16, 5, 1)));
+}
+
+TEST(Subnet, CapacityExcludesBase) {
+  EXPECT_EQ((Subnet{0, 24}).capacity(), 255u);
+  EXPECT_EQ((Subnet{0, 30}).capacity(), 3u);
+  EXPECT_EQ((Subnet{0, 32}).capacity(), 0u);
+}
+
+TEST(Subnet, FormatSubnet) {
+  EXPECT_EQ(format_subnet(Subnet{make_addr(10, 1, 0, 0), 16}), "10.1.0.0/16");
+}
+
+TEST(SubnetAllocator, SequentialUniqueAddresses) {
+  SubnetAllocator alloc(Subnet{make_addr(172, 16, 0, 0), 24});
+  std::set<Addr> seen;
+  for (int i = 0; i < 255; ++i) {
+    auto a = alloc.allocate();
+    ASSERT_TRUE(a.has_value());
+    EXPECT_TRUE(seen.insert(*a).second) << "duplicate address";
+    EXPECT_TRUE((Subnet{make_addr(172, 16, 0, 0), 24}).contains(*a));
+  }
+  EXPECT_EQ(alloc.allocated_count(), 255u);
+}
+
+TEST(SubnetAllocator, ExhaustionReturnsNullopt) {
+  SubnetAllocator alloc(Subnet{make_addr(10, 0, 0, 0), 30});  // 3 hosts
+  EXPECT_TRUE(alloc.allocate().has_value());
+  EXPECT_TRUE(alloc.allocate().has_value());
+  EXPECT_TRUE(alloc.allocate().has_value());
+  EXPECT_FALSE(alloc.allocate().has_value());
+}
+
+TEST(SubnetAllocator, SkipsSubnetBaseAddress) {
+  SubnetAllocator alloc(Subnet{make_addr(10, 0, 0, 0), 24});
+  EXPECT_EQ(*alloc.allocate(), make_addr(10, 0, 0, 1));
+}
+
+TEST(AddressValidator, LegalRequiresRegisteredSubnet) {
+  AddressValidator v;
+  v.add_subnet(Subnet{make_addr(10, 0, 0, 0), 8});
+  EXPECT_TRUE(v.is_legal(make_addr(10, 9, 9, 9)));
+  EXPECT_FALSE(v.is_legal(make_addr(11, 0, 0, 1)));
+  EXPECT_FALSE(v.is_legal(kInvalidAddr));
+}
+
+TEST(AddressValidator, ReachableRequiresAllocatedHost) {
+  AddressValidator v;
+  v.add_subnet(Subnet{make_addr(10, 0, 0, 0), 8});
+  const Addr host = make_addr(10, 1, 2, 3);
+  EXPECT_FALSE(v.is_reachable(host));  // legal but not allocated
+  v.add_host(host);
+  EXPECT_TRUE(v.is_reachable(host));
+}
+
+TEST(AddressValidator, HostOutsideSubnetsIsNotReachable) {
+  AddressValidator v;
+  v.add_subnet(Subnet{make_addr(10, 0, 0, 0), 8});
+  const Addr rogue = make_addr(192, 168, 0, 1);
+  v.add_host(rogue);  // allocated but in no registered subnet
+  EXPECT_FALSE(v.is_reachable(rogue));
+}
+
+TEST(AddressValidator, MultipleSubnets) {
+  AddressValidator v;
+  v.add_subnet(Subnet{make_addr(10, 0, 0, 0), 8});
+  v.add_subnet(Subnet{make_addr(172, 16, 0, 0), 12});
+  EXPECT_TRUE(v.is_legal(make_addr(172, 20, 1, 1)));
+  EXPECT_TRUE(v.is_legal(make_addr(10, 255, 1, 1)));
+  EXPECT_FALSE(v.is_legal(make_addr(172, 32, 1, 1)));
+  EXPECT_EQ(v.subnet_count(), 2u);
+}
+
+}  // namespace
+}  // namespace mafic::util

@@ -1,0 +1,173 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace mafic::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedResetsSequence) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a.next());
+  a.reseed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng r(42);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = r.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01Mean) {
+  Rng r(42);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform(-3.0, 5.0);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRangeCoversAllValues) {
+  Rng r(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.uniform_int(10, 15));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 10u);
+  EXPECT_EQ(*seen.rbegin(), 15u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng r(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.uniform_int(42, 42), 42u);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+    EXPECT_FALSE(r.bernoulli(-0.5));
+    EXPECT_TRUE(r.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(double(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng r(13);
+  for (int i = 0; i < 10000; ++i) ASSERT_GE(r.exponential(1.0), 0.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(17);
+  const int n = 200000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, IndexWithinBounds) {
+  Rng r(23);
+  for (int i = 0; i < 10000; ++i) ASSERT_LT(r.index(7), 7u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto sorted = v;
+  r.shuffle(v);
+  auto copy = v;
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, sorted);
+}
+
+TEST(Rng, ShuffleActuallyShuffles) {
+  Rng r(31);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  const auto orig = v;
+  r.shuffle(v);
+  EXPECT_NE(v, orig);
+}
+
+TEST(Rng, SplitStreamsAreIndependentish) {
+  Rng parent(37);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (parent.next() == child.next());
+  EXPECT_LT(same, 2);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, Uniform01MeanStableAcrossSeeds) {
+  Rng r(GetParam());
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += r.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST_P(RngSeedSweep, BernoulliHalfAcrossSeeds) {
+  Rng r(GetParam());
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.5);
+  EXPECT_NEAR(double(hits) / n, 0.5, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1, 2, 3, 99, 12345, 0xdeadbeef));
+
+}  // namespace
+}  // namespace mafic::util

@@ -1,0 +1,80 @@
+#include "util/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mafic::util {
+namespace {
+
+TEST(BinnedSeries, EmptyBehaviour) {
+  BinnedSeries s(0.1);
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.total(), 0.0);
+  EXPECT_DOUBLE_EQ(s.rate_at(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum_between(0.0, 10.0), 0.0);
+}
+
+TEST(BinnedSeries, AddAccumulatesIntoCorrectBin) {
+  BinnedSeries s(0.1);
+  s.add(0.05, 1.0);
+  s.add(0.09, 2.0);
+  s.add(0.11, 4.0);
+  EXPECT_DOUBLE_EQ(s.bins()[0], 3.0);
+  EXPECT_DOUBLE_EQ(s.bins()[1], 4.0);
+  EXPECT_DOUBLE_EQ(s.total(), 7.0);
+}
+
+TEST(BinnedSeries, NegativeTimesIgnored) {
+  BinnedSeries s(0.1);
+  s.add(-0.5, 9.0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(BinnedSeries, RateAtDividesByBinWidth) {
+  BinnedSeries s(0.5);
+  s.add(0.25, 10.0);
+  EXPECT_DOUBLE_EQ(s.rate_at(0.4), 20.0);
+  EXPECT_DOUBLE_EQ(s.rate_at(0.9), 0.0);
+}
+
+TEST(BinnedSeries, SumBetweenWholeBins) {
+  BinnedSeries s(1.0);
+  s.add(0.5, 1.0);
+  s.add(1.5, 2.0);
+  s.add(2.5, 4.0);
+  EXPECT_DOUBLE_EQ(s.sum_between(0.0, 3.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.sum_between(1.0, 2.0), 2.0);
+}
+
+TEST(BinnedSeries, SumBetweenFractionalOverlap) {
+  BinnedSeries s(1.0);
+  s.add(0.5, 10.0);  // bin [0,1)
+  // Query covering half the bin sees half the weight (uniform spread
+  // assumption).
+  EXPECT_DOUBLE_EQ(s.sum_between(0.0, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum_between(0.25, 0.75), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum_between(0.9, 2.0), 1.0);
+}
+
+TEST(BinnedSeries, RateBetween) {
+  BinnedSeries s(0.1);
+  for (int i = 0; i < 10; ++i) s.add(0.05 + 0.1 * i, 3.0);  // 30/s for 1s
+  EXPECT_NEAR(s.rate_between(0.0, 1.0), 30.0, 1e-9);
+  EXPECT_NEAR(s.rate_between(0.2, 0.4), 30.0, 1e-9);
+}
+
+TEST(BinnedSeries, RateBetweenDegenerateWindow) {
+  BinnedSeries s(0.1);
+  s.add(0.05, 1.0);
+  EXPECT_DOUBLE_EQ(s.rate_between(0.5, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.rate_between(0.5, 0.4), 0.0);
+}
+
+TEST(BinnedSeries, GrowsOnDemand) {
+  BinnedSeries s(0.1);
+  s.add(99.95, 1.0);
+  EXPECT_GE(s.bins().size(), 1000u);
+  EXPECT_DOUBLE_EQ(s.rate_at(99.95), 10.0);
+}
+
+}  // namespace
+}  // namespace mafic::util

@@ -1,0 +1,58 @@
+#include "util/unique_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace mafic::util {
+namespace {
+
+TEST(UniqueFunction, DefaultIsEmpty) {
+  UniqueFunction<void()> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(UniqueFunction, InvokesLambda) {
+  int calls = 0;
+  UniqueFunction<void()> f([&] { ++calls; });
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  f();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(UniqueFunction, CapturesMoveOnlyState) {
+  auto p = std::make_unique<int>(42);
+  UniqueFunction<int()> f([q = std::move(p)] { return *q; });
+  EXPECT_EQ(f(), 42);
+}
+
+TEST(UniqueFunction, MoveTransfersOwnership) {
+  int calls = 0;
+  UniqueFunction<void()> a([&] { ++calls; });
+  UniqueFunction<void()> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(UniqueFunction, ArgumentsAndReturn) {
+  UniqueFunction<int(int, int)> add([](int a, int b) { return a + b; });
+  EXPECT_EQ(add(3, 4), 7);
+}
+
+TEST(UniqueFunction, MoveOnlyArgumentsForwarded) {
+  UniqueFunction<int(std::unique_ptr<int>)> f(
+      [](std::unique_ptr<int> p) { return *p; });
+  EXPECT_EQ(f(std::make_unique<int>(9)), 9);
+}
+
+TEST(UniqueFunction, ReassignmentReplacesTarget) {
+  UniqueFunction<int()> f([] { return 1; });
+  f = UniqueFunction<int()>([] { return 2; });
+  EXPECT_EQ(f(), 2);
+}
+
+}  // namespace
+}  // namespace mafic::util
