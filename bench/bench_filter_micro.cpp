@@ -1,13 +1,19 @@
 // Ablation A3: MAFIC datapath cost — per-packet decision latency of the
-// filter against table population, plus flow-label hashing and table
-// lookups in isolation.
+// filter against table population, flow-label hashing and table lookups
+// in isolation, plus the two timer substrates (heap event queue vs
+// hierarchical wheel) under probation-style schedule/cancel churn.
+//
+// Results also append to BENCH_flow_store.json for cross-PR tracking.
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
 #include "core/flow_tables.hpp"
 #include "core/mafic_filter.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
+#include "sim/timer_wheel.hpp"
 
 namespace {
 
@@ -74,11 +80,26 @@ void BM_MaficFilterSteadyState(benchmark::State& state) {
   filter->set_target(&sink);
 
   const auto population = static_cast<std::uint64_t>(state.range(0));
-  // Pre-populate by streaming one packet per flow through (most get
-  // dropped and admitted to the SFT; re-streaming settles classification).
   std::vector<sim::FlowLabel> labels;
   for (std::uint64_t i = 0; i < population; ++i) {
     labels.push_back(label_for(i));
+  }
+  // Settle classification first: stream each flow, then run the clock so
+  // the wheel's decision timers resolve every probation into NFT/PDT.
+  // The measured loop is then the true steady state (zero admissions).
+  for (int round = 0; round < 8; ++round) {
+    const auto& tables = filter->tables();
+    if (tables.nft_size() + tables.pdt_size() >= population) break;
+    for (const auto& label : labels) {
+      const std::uint64_t key = sim::hash_label(label);
+      if (tables.in_nft(key) || tables.in_pdt(key)) continue;
+      auto p = factory.make();
+      p->label = label;
+      p->proto = sim::Protocol::kTcp;
+      p->size_bytes = 1000;
+      filter->recv(std::move(p));
+    }
+    sim.run_until(sim.now() + 1.0);
   }
 
   std::uint64_t i = 0;
@@ -102,6 +123,84 @@ void BM_PacketAllocationRecycling(benchmark::State& state) {
 }
 BENCHMARK(BM_PacketAllocationRecycling);
 
+/// Probation timer churn on the wheel: schedule a probe + decision pair,
+/// cancel both (the early-resolution path). All O(1); allocation-free
+/// once the slab is warm.
+void BM_TimerWheelProbationChurn(benchmark::State& state) {
+  sim::TimerWheel wheel(0.0005);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.0001;
+    const sim::TimerId probe = wheel.schedule_at(t + 0.04, [] {});
+    const sim::TimerId decision = wheel.schedule_at(t + 0.08, [] {});
+    wheel.cancel(probe);
+    wheel.cancel(decision);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimerWheelProbationChurn);
+
+/// The same churn on the binary-heap event queue (pre-refactor substrate):
+/// O(log n) pushes plus lazily-cancelled corpses that compaction sweeps.
+void BM_EventQueueProbationChurn(benchmark::State& state) {
+  sim::EventQueue queue;
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.0001;
+    const sim::EventId probe = queue.push(t + 0.04, [] {});
+    const sim::EventId decision = queue.push(t + 0.08, [] {});
+    queue.cancel(probe);
+    queue.cancel(decision);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueProbationChurn);
+
+/// Wheel keep-alive reschedule (refresh path): one armed timer repeatedly
+/// pushed to a later deadline.
+void BM_TimerWheelReschedule(benchmark::State& state) {
+  sim::TimerWheel wheel(0.0005);
+  double t = 1.0;
+  const sim::TimerId id = wheel.schedule_at(t, [] {});
+  for (auto _ : state) {
+    t += 0.001;
+    benchmark::DoNotOptimize(wheel.reschedule(id, t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimerWheelReschedule);
+
+/// Collects per-benchmark ns/iteration and appends it to the shared
+/// machine-readable bench output.
+class JsonAppendReporter final : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      const double ns = run.GetAdjustedRealTime();  // ns per iteration
+      records_.push_back({"bench_filter_micro", run.benchmark_name(), 0, ns,
+                          mafic::bench::read_vm_rss_kb()});
+    }
+  }
+
+  const std::vector<mafic::bench::BenchRecord>& records() const {
+    return records_;
+  }
+
+ private:
+  std::vector<mafic::bench::BenchRecord> records_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonAppendReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  mafic::bench::append_records(mafic::bench::kFlowStoreJson,
+                               reporter.records());
+  return 0;
+}

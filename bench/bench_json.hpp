@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file bench_json.hpp
+/// Machine-readable bench output. Perf benches append their measurements
+/// to BENCH_flow_store.json (a single JSON array) so future PRs have a
+/// trajectory to compare against instead of eyeballing console tables.
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace mafic::bench {
+
+inline constexpr const char* kFlowStoreJson = "BENCH_flow_store.json";
+
+struct BenchRecord {
+  std::string bench;  ///< producing binary, e.g. "bench_flow_store_scale"
+  std::string name;   ///< series/benchmark name, e.g. "flat_classify_hit"
+  double flows = 0;   ///< resident-flow tier (0 when not applicable)
+  double ns_per_packet = 0;
+  double rss_kb = 0;  ///< VmRSS at measurement (0 when unavailable)
+};
+
+/// Current resident set size in kB from /proc/self/status; 0 off-Linux.
+inline double read_vm_rss_kb() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  double kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      kb = std::strtod(line + 6, nullptr);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+#else
+  return 0;
+#endif
+}
+
+/// Appends records to the JSON array at `path`, creating it if missing.
+/// The file stays a valid JSON array across appends from multiple bench
+/// binaries.
+inline void append_records(const char* path,
+                           const std::vector<BenchRecord>& records) {
+  if (records.empty()) return;
+
+  std::string existing;
+  if (std::FILE* f = std::fopen(path, "rb")) {
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      existing.append(buf, n);
+    }
+    std::fclose(f);
+  }
+  // Reopen the array: strip trailing whitespace and the closing bracket.
+  while (!existing.empty() &&
+         (std::isspace(static_cast<unsigned char>(existing.back())) != 0 ||
+          existing.back() == ']')) {
+    const bool was_bracket = existing.back() == ']';
+    existing.pop_back();
+    if (was_bracket) break;
+  }
+  const bool fresh = existing.empty();
+
+  std::FILE* f = std::fopen(path, "wb");
+  if (f == nullptr) return;
+  std::fputs(fresh ? "[\n" : (existing.c_str()), f);
+  if (!fresh) std::fputs(",\n", f);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f,
+                 "  {\"bench\": \"%s\", \"name\": \"%s\", \"flows\": %.0f, "
+                 "\"ns_per_packet\": %.2f, \"rss_kb\": %.0f}%s\n",
+                 r.bench.c_str(), r.name.c_str(), r.flows, r.ns_per_packet,
+                 r.rss_kb, i + 1 < records.size() ? "," : "");
+  }
+  std::fputs("]\n", f);
+  std::fclose(f);
+}
+
+}  // namespace mafic::bench

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file reference_flow_tables.hpp
+/// The pre-refactor map-based flow tables, kept verbatim as the perf
+/// baseline for bench_flow_store_scale: three node-based std containers,
+/// one hash + pointer chase per table per classify. Not used by the
+/// library — the production flow store is core/flow_tables.hpp (flat
+/// open-addressing store). Behavior mirrors commit 96a7caa.
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/config.hpp"
+#include "core/flow_tables.hpp"  // TableKind, SftEntry
+#include "sim/packet.hpp"
+
+namespace mafic::bench {
+
+class ReferenceMapFlowTables {
+ public:
+  explicit ReferenceMapFlowTables(const core::MaficConfig& cfg)
+      : cfg_(cfg) {}
+
+  core::TableKind classify(
+      std::uint64_t key,
+      double now = -std::numeric_limits<double>::infinity()) {
+    if (pdt_.contains(key)) return core::TableKind::kPermanentDrop;
+    const auto it = nft_.find(key);
+    if (it != nft_.end()) {
+      if (now <= it->second) return core::TableKind::kNice;
+      nft_.erase(it);
+      return core::TableKind::kNone;
+    }
+    if (sft_.contains(key)) return core::TableKind::kSuspicious;
+    return core::TableKind::kNone;
+  }
+
+  core::SftEntry* admit_sft(std::uint64_t key, const sim::FlowLabel& label,
+                            double now, double window_seconds) {
+    if (classify(key) != core::TableKind::kNone) return nullptr;
+    if (sft_.size() >= cfg_.sft_capacity) {
+      auto victim = sft_.begin();
+      for (auto it = sft_.begin(); it != sft_.end(); ++it) {
+        if (it->second.deadline < victim->second.deadline) victim = it;
+      }
+      sft_.erase(victim);
+    }
+    core::SftEntry e;
+    e.key = key;
+    e.label = label;
+    e.entry_time = now;
+    e.split_time = now + window_seconds / 2.0;
+    e.deadline = now + window_seconds;
+    return &sft_.emplace(key, e).first->second;
+  }
+
+  void resolve(std::uint64_t key, core::TableKind destination, double now) {
+    sft_.erase(key);
+    if (destination == core::TableKind::kNice) {
+      if (nft_.size() >= cfg_.nft_capacity) nft_.erase(nft_.begin());
+      nft_[key] = cfg_.nft_revalidation_interval > 0.0
+                      ? now + cfg_.nft_revalidation_interval
+                      : std::numeric_limits<double>::infinity();
+    } else {
+      if (pdt_.size() >= cfg_.pdt_capacity) pdt_.erase(pdt_.begin());
+      pdt_.insert(key);
+    }
+  }
+
+  void add_pdt_direct(std::uint64_t key) {
+    if (pdt_.size() >= cfg_.pdt_capacity) pdt_.erase(pdt_.begin());
+    pdt_.insert(key);
+  }
+
+ private:
+  const core::MaficConfig& cfg_;
+  std::unordered_map<std::uint64_t, core::SftEntry> sft_;
+  std::unordered_map<std::uint64_t, double> nft_;
+  std::unordered_set<std::uint64_t> pdt_;
+};
+
+}  // namespace mafic::bench

@@ -62,6 +62,23 @@ struct MaficConfig {
   std::size_t nft_capacity = 65536;
   std::size_t pdt_capacity = 65536;
 
+  /// Occupancy ceiling of the flat open-addressing flow store. Higher
+  /// values trade longer robin-hood probe sequences for less memory; the
+  /// store sizes itself for the three capacity bounds above and grows by
+  /// doubling until it reaches that bound, after which it never
+  /// reallocates. 0.65 keeps the worst-case post-doubling occupancy low
+  /// enough that lookups average about one cache line even when growth
+  /// stops just under the ceiling.
+  double flow_store_max_load = 0.65;
+
+  /// Tick width of the simulator's hierarchical timer wheel, which carries
+  /// the per-flow probe and decision timers (O(1) schedule/cancel instead
+  /// of heap events). Timers fire on the first tick boundary at or after
+  /// their nominal time; 0.5 ms is well under every probation window the
+  /// paper sweeps. Experiment harnesses construct their Simulator with
+  /// this value.
+  double timer_wheel_resolution = 0.0005;
+
   /// Reject sources whose address is illegal (outside every registered
   /// subnet) or unreachable (never allocated) straight into the PDT.
   bool address_screening = true;

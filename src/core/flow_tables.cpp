@@ -1,6 +1,5 @@
 #include "core/flow_tables.hpp"
 
-#include <algorithm>
 #include <cassert>
 #include <limits>
 
@@ -20,22 +19,94 @@ const char* to_string(TableKind k) noexcept {
   return "?";
 }
 
+FlowTables::FlowTables(const MaficConfig& cfg)
+    : cfg_(cfg),
+      store_(cfg.sft_capacity + cfg.nft_capacity + cfg.pdt_capacity,
+             cfg.flow_store_max_load) {}
+
 TableKind FlowTables::classify(std::uint64_t key, double now) {
-  if (pdt_.contains(key)) return TableKind::kPermanentDrop;
-  const auto it = nft_.find(key);
-  if (it != nft_.end()) {
-    if (now <= it->second) return TableKind::kNice;
-    nft_.erase(it);  // revalidation: niceness has expired
+  FlowRecord* r = store_.find(key);
+  if (r == nullptr) return TableKind::kNone;
+  if (r->kind == TableKind::kNice && now > r->nft_expiry) {
+    store_.erase(key);  // revalidation: niceness has expired
+    --nft_count_;
     ++stats_.nft_expirations;
     return TableKind::kNone;
   }
-  if (sft_.contains(key)) return TableKind::kSuspicious;
-  return TableKind::kNone;
+  return r->kind;
 }
 
 SftEntry* FlowTables::find_sft(std::uint64_t key) noexcept {
-  const auto it = sft_.find(key);
-  return it == sft_.end() ? nullptr : &it->second;
+  FlowRecord* r = store_.find(key);
+  if (r == nullptr || r->kind != TableKind::kSuspicious) return nullptr;
+  return &arena_[r->sft_slot];
+}
+
+std::uint32_t FlowTables::alloc_arena_slot() {
+  if (arena_free_.empty()) {
+    // Grow the arena geometrically up to the configured bound; entry
+    // pointers are only valid until the next admit, so relocation is safe.
+    const std::size_t old = arena_.size();
+    std::size_t grown = old == 0 ? 16 : old * 2;
+    if (grown > cfg_.sft_capacity) grown = cfg_.sft_capacity;
+    assert(grown > old && "arena grown past sft_capacity");
+    arena_.resize(grown);
+    arena_live_.resize(grown, 0);
+    for (std::size_t i = grown; i > old; --i) {
+      arena_free_.push_back(static_cast<std::uint32_t>(i - 1));
+    }
+  }
+  const std::uint32_t slot = arena_free_.back();
+  arena_free_.pop_back();
+  arena_live_[slot] = 1;
+  return slot;
+}
+
+void FlowTables::free_arena_slot(std::uint32_t slot) noexcept {
+  arena_live_[slot] = 0;
+  arena_free_.push_back(slot);
+}
+
+void FlowTables::evict_oldest_probation() {
+  // Evict the probation closest to (or past) its deadline; it has had the
+  // most chance to be judged already. Linear scan over the contiguous
+  // arena — only reached when the SFT is at capacity.
+  std::uint32_t victim = kNoSlot;
+  for (std::uint32_t i = 0; i < arena_.size(); ++i) {
+    if (arena_live_[i] == 0) continue;
+    if (victim == kNoSlot || arena_[i].deadline < arena_[victim].deadline) {
+      victim = i;
+    }
+  }
+  assert(victim != kNoSlot);
+  if (on_evicted_) on_evicted_(arena_[victim]);
+  store_.erase(arena_[victim].key);
+  free_arena_slot(victim);
+  --sft_count_;
+  ++stats_.sft_evictions;
+}
+
+void FlowTables::evict_any(TableKind kind) {
+  // Drop an arbitrary resident entry of this kind. This bound mostly
+  // matters under per-packet-spoofed label floods (ablation A5), where it
+  // runs once per packet — the rotating scan cursor makes consecutive
+  // evictions sweep the store round-robin, amortized O(1) whenever the
+  // kind is a non-vanishing fraction of residents.
+  std::uint64_t victim_key = 0;
+  const std::size_t at = store_.scan(
+      evict_cursor_, [&](std::uint64_t key, const FlowRecord& r) {
+        if (r.kind != kind) return false;
+        victim_key = key;
+        return true;
+      });
+  assert(at != decltype(store_)::kNpos);
+  evict_cursor_ = at;
+  store_.erase(victim_key);
+  if (kind == TableKind::kNice) {
+    --nft_count_;
+  } else {
+    --pdt_count_;
+  }
 }
 
 SftEntry* FlowTables::admit_sft(std::uint64_t key,
@@ -43,45 +114,59 @@ SftEntry* FlowTables::admit_sft(std::uint64_t key,
                                 double window_seconds) {
   if (classify(key) != TableKind::kNone) return nullptr;
 
-  if (sft_.size() >= cfg_.sft_capacity) {
-    // Evict the probation closest to (or past) its deadline; it has had
-    // the most chance to be judged already.
-    auto victim = sft_.begin();
-    for (auto it = sft_.begin(); it != sft_.end(); ++it) {
-      if (it->second.deadline < victim->second.deadline) victim = it;
-    }
-    sft_.erase(victim);
-    ++stats_.sft_evictions;
-  }
+  if (sft_count_ >= cfg_.sft_capacity) evict_oldest_probation();
 
-  SftEntry e;
+  const std::uint32_t slot = alloc_arena_slot();
+  SftEntry& e = arena_[slot];
+  e = SftEntry{};
   e.key = key;
   e.label = label;
   e.entry_time = now;
   e.split_time = now + window_seconds / 2.0;
   e.deadline = now + window_seconds;
-  auto [it, inserted] = sft_.emplace(key, e);
+
+  auto [record, inserted] = store_.insert(key);
   assert(inserted);
+  (void)inserted;
+  record->kind = TableKind::kSuspicious;
+  record->sft_slot = slot;
+  ++sft_count_;
   ++stats_.sft_admissions;
-  return &it->second;
+  return &e;
 }
 
 SftEntry FlowTables::resolve(std::uint64_t key, TableKind destination,
                              double now) {
-  const auto it = sft_.find(key);
-  assert(it != sft_.end() && "resolving a flow that is not under probation");
-  SftEntry out = it->second;
-  sft_.erase(it);
+  FlowRecord* r = store_.find(key);
+  assert(r != nullptr && r->kind == TableKind::kSuspicious &&
+         "resolving a flow that is not under probation");
+  SftEntry out = arena_[r->sft_slot];
+  free_arena_slot(r->sft_slot);
+  --sft_count_;
+
+  // The key stays resident: its record mutates in place to the
+  // destination table (no erase + reinsert, no rehash churn).
   if (destination == TableKind::kNice) {
-    if (nft_.size() >= cfg_.nft_capacity) nft_.erase(nft_.begin());
-    const double expiry = cfg_.nft_revalidation_interval > 0.0
-                              ? now + cfg_.nft_revalidation_interval
-                              : std::numeric_limits<double>::infinity();
-    nft_[key] = expiry;
+    if (nft_count_ >= cfg_.nft_capacity) {
+      evict_any(TableKind::kNice);
+      r = store_.find(key);  // eviction shifts slots; re-find
+    }
+    r->kind = TableKind::kNice;
+    r->sft_slot = kNoSlot;
+    r->nft_expiry = cfg_.nft_revalidation_interval > 0.0
+                        ? now + cfg_.nft_revalidation_interval
+                        : std::numeric_limits<double>::infinity();
+    ++nft_count_;
     ++stats_.moved_to_nft;
   } else {
     assert(destination == TableKind::kPermanentDrop);
-    insert_bounded(pdt_, cfg_.pdt_capacity, key);
+    if (pdt_count_ >= cfg_.pdt_capacity) {
+      evict_any(TableKind::kPermanentDrop);
+      r = store_.find(key);
+    }
+    r->kind = TableKind::kPermanentDrop;
+    r->sft_slot = kNoSlot;
+    ++pdt_count_;
     ++stats_.moved_to_pdt;
   }
   return out;
@@ -89,26 +174,29 @@ SftEntry FlowTables::resolve(std::uint64_t key, TableKind destination,
 
 void FlowTables::add_pdt_direct(std::uint64_t key) {
   assert(classify(key) == TableKind::kNone);
-  insert_bounded(pdt_, cfg_.pdt_capacity, key);
+  if (pdt_count_ >= cfg_.pdt_capacity) evict_any(TableKind::kPermanentDrop);
+  auto [record, inserted] = store_.insert(key);
+  assert(inserted);
+  (void)inserted;
+  record->kind = TableKind::kPermanentDrop;
+  ++pdt_count_;
   ++stats_.direct_pdt;
 }
 
 void FlowTables::flush() {
-  sft_.clear();
-  nft_.clear();
-  pdt_.clear();
-  ++stats_.flushes;
-}
-
-void FlowTables::insert_bounded(std::unordered_set<std::uint64_t>& set,
-                                std::size_t capacity, std::uint64_t key) {
-  if (set.size() >= capacity) {
-    // Hash-set eviction: drop an arbitrary resident entry. Under the
-    // paper's workloads the NFT/PDT never approach capacity; this bound
-    // only protects against per-packet-spoofed label floods (ablation A5).
-    set.erase(set.begin());
+  if (on_evicted_) {
+    for_each_sft([this](const SftEntry& e) { on_evicted_(e); });
   }
-  set.insert(key);
+  store_.clear();
+  arena_free_.clear();
+  for (std::size_t i = arena_.size(); i > 0; --i) {
+    arena_live_[i - 1] = 0;
+    arena_free_.push_back(static_cast<std::uint32_t>(i - 1));
+  }
+  sft_count_ = 0;
+  nft_count_ = 0;
+  pdt_count_ = 0;
+  ++stats_.flushes;
 }
 
 }  // namespace mafic::core

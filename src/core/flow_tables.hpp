@@ -11,16 +11,25 @@
 ///
 /// Tables store 64-bit hashes of the 4-tuple label, not the label itself
 /// (section III-B). Class invariant: a key is in at most one table.
+///
+/// Storage: all three tables live in ONE flat open-addressing store
+/// (util::FlatTable) — each resident key maps to a small record carrying
+/// its TableKind tag plus either the NFT expiry stamp or an index into a
+/// contiguous SftEntry arena. One probe sequence answers "which table is
+/// this key in", and the steady-state lookup touches adjacent cache lines
+/// instead of chasing per-node heap pointers. The arena is freelist-
+/// recycled, so admitting/resolving probations allocates nothing once the
+/// working set is resident.
 
 #include <cstdint>
+#include <functional>
 #include <limits>
-#include <list>
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "core/config.hpp"
 #include "sim/packet.hpp"
 #include "sim/types.hpp"
+#include "util/flat_table.hpp"
 
 namespace mafic::core {
 
@@ -43,13 +52,13 @@ struct SftEntry {
   std::uint32_t baseline_count = 0;  ///< arrivals in [entry, split)
   std::uint32_t probe_count = 0;     ///< arrivals in [split, deadline)
   bool probe_sent = false;
-  sim::EventId probe_event = sim::kInvalidEvent;
-  sim::EventId decision_event = sim::kInvalidEvent;
+  sim::TimerId probe_timer = sim::kInvalidTimer;
+  sim::TimerId decision_timer = sim::kInvalidTimer;
 };
 
 class FlowTables {
  public:
-  explicit FlowTables(const MaficConfig& cfg) : cfg_(cfg) {}
+  explicit FlowTables(const MaficConfig& cfg);
 
   struct Stats {
     std::uint64_t sft_admissions = 0;
@@ -61,6 +70,12 @@ class FlowTables {
     std::uint64_t flushes = 0;
   };
 
+  /// Invoked whenever a probation leaves the SFT *without* being resolved
+  /// (capacity eviction or flush); gives the owner a chance to cancel the
+  /// entry's pending probe/decision timers.
+  using EvictionHook = std::function<void(const SftEntry&)>;
+  void set_eviction_hook(EvictionHook hook) { on_evicted_ = std::move(hook); }
+
   /// Current table of `key`. When NFT revalidation is enabled, an expired
   /// NFT entry is lazily removed and the key reports kNone, sending the
   /// flow back through probation on its next drop.
@@ -71,7 +86,8 @@ class FlowTables {
 
   /// Admits a flow into the SFT (must not be in any table). Returns the
   /// new entry, or nullptr if the key is already tabled. Evicts the oldest
-  /// probation when full.
+  /// probation when full. The returned pointer is valid until the next
+  /// admit/resolve/flush call.
   SftEntry* admit_sft(std::uint64_t key, const sim::FlowLabel& label,
                       double now, double window_seconds);
 
@@ -85,42 +101,72 @@ class FlowTables {
   void add_pdt_direct(std::uint64_t key);
 
   bool in_nft(std::uint64_t key) const noexcept {
-    return nft_.contains(key);
+    const FlowRecord* r = store_.find(key);
+    return r != nullptr && r->kind == TableKind::kNice;
   }
   /// Expiry stamp of an NFT entry (tests/diagnostics); +inf when the entry
   /// never expires, NaN when absent.
   double nft_expiry(std::uint64_t key) const noexcept {
-    const auto it = nft_.find(key);
-    return it == nft_.end() ? std::numeric_limits<double>::quiet_NaN()
-                            : it->second;
+    const FlowRecord* r = store_.find(key);
+    return r != nullptr && r->kind == TableKind::kNice
+               ? r->nft_expiry
+               : std::numeric_limits<double>::quiet_NaN();
   }
   bool in_pdt(std::uint64_t key) const noexcept {
-    return pdt_.contains(key);
+    const FlowRecord* r = store_.find(key);
+    return r != nullptr && r->kind == TableKind::kPermanentDrop;
   }
 
   /// "End dropping & flush all tables" (Fig. 2 exit arc).
   void flush();
 
-  std::size_t sft_size() const noexcept { return sft_.size(); }
-  std::size_t nft_size() const noexcept { return nft_.size(); }
-  std::size_t pdt_size() const noexcept { return pdt_.size(); }
+  std::size_t sft_size() const noexcept { return sft_count_; }
+  std::size_t nft_size() const noexcept { return nft_count_; }
+  std::size_t pdt_size() const noexcept { return pdt_count_; }
   const Stats& stats() const noexcept { return stats_; }
+
+  /// Total resident keys across all three tables (one flat store).
+  std::size_t resident() const noexcept { return store_.size(); }
+  /// Longest probe sequence in the flat store (diagnostics).
+  std::uint32_t max_probe_length() const noexcept {
+    return store_.max_probe_length();
+  }
 
   /// Visits every live SFT entry (tests, diagnostics).
   template <typename Fn>
   void for_each_sft(Fn&& fn) const {
-    for (const auto& [key, entry] : sft_) fn(entry);
+    for (std::uint32_t i = 0; i < arena_.size(); ++i) {
+      if (arena_live_[i] != 0) fn(arena_[i]);
+    }
   }
 
  private:
-  void insert_bounded(std::unordered_set<std::uint64_t>& set,
-                      std::size_t capacity, std::uint64_t key);
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  /// One flat-store record: the table tag plus the per-kind payload.
+  struct FlowRecord {
+    TableKind kind = TableKind::kNone;
+    std::uint32_t sft_slot = kNoSlot;  ///< arena index (kSuspicious only)
+    double nft_expiry = 0.0;           ///< expiry stamp (kNice only)
+  };
+
+  std::uint32_t alloc_arena_slot();
+  void free_arena_slot(std::uint32_t slot) noexcept;
+  /// Evicts the probation closest to (or past) its deadline.
+  void evict_oldest_probation();
+  /// Evicts an arbitrary resident entry of `kind` (NFT/PDT bound guard).
+  void evict_any(TableKind kind);
 
   const MaficConfig& cfg_;
-  std::unordered_map<std::uint64_t, SftEntry> sft_;
-  /// key -> expiry time (+inf when revalidation is off).
-  std::unordered_map<std::uint64_t, double> nft_;
-  std::unordered_set<std::uint64_t> pdt_;
+  util::FlatTable<FlowRecord> store_;
+  std::vector<SftEntry> arena_;        ///< probation payloads, contiguous
+  std::vector<std::uint8_t> arena_live_;
+  std::vector<std::uint32_t> arena_free_;
+  std::size_t sft_count_ = 0;
+  std::size_t nft_count_ = 0;
+  std::size_t pdt_count_ = 0;
+  std::size_t evict_cursor_ = 0;  ///< rotating scan hint for evict_any
+  EvictionHook on_evicted_;
   Stats stats_;
 };
 

@@ -14,7 +14,13 @@ MaficFilter::MaficFilter(sim::Simulator* sim, sim::PacketFactory* factory,
       rtt_(cfg_),
       prober_(sim, factory, atr_node, cfg_),
       policy_(policy),
-      rng_(rng) {}
+      rng_(rng) {
+  // Probations leaving the SFT without a decision (capacity eviction or
+  // flush) must not leave their probe/decision timers armed: the stale
+  // callbacks could fire into a *new* probation of the same key.
+  tables_.set_eviction_hook(
+      [this](const SftEntry& e) { cancel_entry_timers(e); });
+}
 
 sim::NodeId MaficFilter::atr_node_id() const noexcept {
   return atr_node_->id();
@@ -29,19 +35,15 @@ void MaficFilter::activate(const VictimSet& victims) {
 void MaficFilter::refresh() {
   if (!active_ || cfg_.refresh_timeout <= 0.0) return;
   expires_at_ = sim_->now() + cfg_.refresh_timeout;
-  arm_expiry();
-}
-
-void MaficFilter::arm_expiry() {
-  if (expiry_event_ != sim::kInvalidEvent) return;  // already armed
-  expiry_event_ = sim_->schedule_at(expires_at_, [this] {
-    expiry_event_ = sim::kInvalidEvent;
-    if (!active_) return;
-    if (sim_->now() + 1e-12 >= expires_at_) {
-      deactivate();  // "Pushback Continue? -> No"
-    } else {
-      arm_expiry();  // a refresh extended the deadline meanwhile
-    }
+  // Keep-alive on the wheel: each refresh is an O(1) reschedule instead of
+  // abandoning a lazily-cancelled heap event.
+  if (expiry_timer_ != sim::kInvalidTimer &&
+      sim_->reschedule_timer(expiry_timer_, expires_at_)) {
+    return;
+  }
+  expiry_timer_ = sim_->schedule_timer_at(expires_at_, [this] {
+    expiry_timer_ = sim::kInvalidTimer;
+    if (active_) deactivate();  // "Pushback Continue? -> No"
   });
 }
 
@@ -50,9 +52,9 @@ void MaficFilter::deactivate() {
   victims_.clear();
   tables_.flush();  // "End dropping & Flush all tables"
   rtt_.clear();
-  if (expiry_event_ != sim::kInvalidEvent) {
-    sim_->cancel(expiry_event_);
-    expiry_event_ = sim::kInvalidEvent;
+  if (expiry_timer_ != sim::kInvalidTimer) {
+    sim_->cancel_timer(expiry_timer_);
+    expiry_timer_ = sim::kInvalidTimer;
   }
 }
 
@@ -145,12 +147,12 @@ void MaficFilter::admit(const sim::Packet& p, std::uint64_t key) {
 
 void MaficFilter::schedule_probe(SftEntry& e) {
   const std::uint64_t key = e.key;
-  e.probe_event = sim_->schedule_at(e.split_time, [this, key] {
+  e.probe_timer = sim_->schedule_timer_at(e.split_time, [this, key] {
     if (!active_) return;
     SftEntry* entry = tables_.find_sft(key);
     if (entry == nullptr || entry->probe_sent) return;
     entry->probe_sent = true;
-    entry->probe_event = sim::kInvalidEvent;
+    entry->probe_timer = sim::kInvalidTimer;
     ++stats_.probes_issued;
     prober_.probe(entry->label);
   });
@@ -159,22 +161,27 @@ void MaficFilter::schedule_probe(SftEntry& e) {
 void MaficFilter::schedule_decision(SftEntry& e) {
   const std::uint64_t key = e.key;
   // Epsilon after the deadline so that a packet arriving exactly at the
-  // deadline is handled by the lazy path first.
-  e.decision_event =
-      sim_->schedule_at(e.deadline + 1e-9, [this, key] {
+  // deadline is handled by the lazy path first (the wheel then rounds up
+  // to its next tick, which the lazy path also covers).
+  e.decision_timer =
+      sim_->schedule_timer_at(e.deadline + 1e-9, [this, key] {
         if (!active_) return;
         if (tables_.find_sft(key) != nullptr) decide(key);
       });
+}
+
+void MaficFilter::cancel_entry_timers(const SftEntry& e) {
+  if (e.probe_timer != sim::kInvalidTimer) sim_->cancel_timer(e.probe_timer);
+  if (e.decision_timer != sim::kInvalidTimer) {
+    sim_->cancel_timer(e.decision_timer);
+  }
 }
 
 TableKind MaficFilter::decide(std::uint64_t key) {
   SftEntry* e = tables_.find_sft(key);
   if (e == nullptr) return TableKind::kNone;
 
-  if (e->probe_event != sim::kInvalidEvent) sim_->cancel(e->probe_event);
-  if (e->decision_event != sim::kInvalidEvent) {
-    sim_->cancel(e->decision_event);
-  }
+  cancel_entry_timers(*e);
 
   bool decreased;
   if (e->baseline_count < cfg_.min_baseline_packets) {

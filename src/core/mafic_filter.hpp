@@ -88,7 +88,7 @@ class MaficFilter final : public sim::InlineFilter, public DefenseActuator {
   void admit(const sim::Packet& p, std::uint64_t key);
   void schedule_probe(SftEntry& e);
   void schedule_decision(SftEntry& e);
-  void arm_expiry();
+  void cancel_entry_timers(const SftEntry& e);
 
   sim::Simulator* sim_;
   sim::Node* atr_node_;
@@ -102,7 +102,7 @@ class MaficFilter final : public sim::InlineFilter, public DefenseActuator {
   bool active_ = false;
   VictimSet victims_;
   double expires_at_ = 0.0;
-  sim::EventId expiry_event_ = sim::kInvalidEvent;
+  sim::TimerId expiry_timer_ = sim::kInvalidTimer;
 
   ClassificationCallback on_classified_;
   OfferedCallback on_offered_;

@@ -8,8 +8,10 @@ void Prober::probe(const sim::FlowLabel& flow) {
     if (i == 0) {
       emit(flow);
     } else {
-      sim_->schedule(cfg_.probe_spacing_s * i,
-                     [this, flow] { emit(flow); });
+      // Spaced emissions ride the timer wheel with the rest of the
+      // probation machinery; the label capture fits its inline storage.
+      sim_->schedule_timer(cfg_.probe_spacing_s * i,
+                           [this, flow] { emit(flow); });
     }
   }
 }

@@ -36,7 +36,10 @@ pushback::PushbackCoordinator::Config ExperimentConfig::default_pushback() {
 }
 
 Experiment::Experiment(ExperimentConfig cfg)
-    : cfg_(cfg), rng_(cfg.seed), ledger_(cfg.series_bin_width) {
+    : cfg_(cfg),
+      sim_(cfg.mafic.timer_wheel_resolution),
+      rng_(cfg.seed),
+      ledger_(cfg.series_bin_width) {
   cfg_.mafic.drop_probability = cfg_.drop_probability;
 }
 

@@ -3,10 +3,12 @@
 /// \file event_queue.hpp
 /// Min-heap event queue. Ties in time are broken by insertion sequence so
 /// runs are deterministic regardless of heap internals. Cancellation is
-/// lazy: cancelled items stay in the heap and are skipped when they surface.
+/// lazy: cancelled items stay in the heap and are skipped when they
+/// surface — but the heap is compacted whenever dead items outnumber live
+/// ones, so long runs with heavy cancellation churn (e.g. probation
+/// timers resolved early) cannot grow memory unboundedly.
 
 #include <cstdint>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -31,7 +33,7 @@ class EventQueue {
   std::size_t size() const noexcept { return live_.size(); }
 
   /// Time of the earliest live event; empty() must be false.
-  SimTime next_time() const;
+  SimTime next_time();
 
   /// Pops the earliest live event. empty() must be false.
   struct Popped {
@@ -43,13 +45,17 @@ class EventQueue {
 
   void clear();
 
+  /// Heap entries currently held, live or cancelled (tests/diagnostics:
+  /// bounded at < 2x live size + the compaction floor).
+  std::size_t heap_footprint() const noexcept { return heap_.size(); }
+  /// Times the queue rebuilt its heap to shed cancelled entries.
+  std::uint64_t compactions() const noexcept { return compactions_; }
+
  private:
   struct Item {
     SimTime time;
     EventId id;
-    // mutable so the function can be moved out of the priority_queue's
-    // const top(); the item is popped immediately afterwards.
-    mutable EventFn fn;
+    EventFn fn;
 
     bool operator>(const Item& other) const noexcept {
       if (time != other.time) return time > other.time;
@@ -58,10 +64,15 @@ class EventQueue {
   };
 
   void drop_dead_head();
+  /// Removes every cancelled entry and re-heapifies. Called when dead
+  /// entries exceed half the heap.
+  void compact();
+  void maybe_compact();
 
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
+  std::vector<Item> heap_;  ///< std::*_heap on operator>
   std::unordered_set<EventId> live_;
   EventId next_id_ = 1;
+  std::uint64_t compactions_ = 0;
 };
 
 }  // namespace mafic::sim

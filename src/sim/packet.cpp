@@ -8,10 +8,18 @@ namespace mafic::sim {
 
 namespace {
 // Single-threaded simulator: a plain static freelist suffices. Slots are
-// raw storage of exactly sizeof(Packet).
+// raw storage of exactly sizeof(Packet). The destructor returns cached
+// blocks to the heap so leak checkers see a clean exit.
+struct Freelist {
+  std::vector<void*> list;
+  ~Freelist() {
+    for (void* p : list) ::operator delete(p);
+  }
+};
+
 std::vector<void*>& freelist() {
-  static std::vector<void*> list;
-  return list;
+  static Freelist cache;
+  return cache.list;
 }
 }  // namespace
 

@@ -4,17 +4,29 @@
 /// The discrete-event simulation kernel. Components hold a Simulator* and
 /// schedule work with schedule()/schedule_at(); nothing in the library uses
 /// global state, so independent simulations can coexist in one process.
+///
+/// Two event sources drive the clock:
+///  * the binary-heap EventQueue — exact-time, one-shot events (packet
+///    arrivals, transmissions, experiment scripting);
+///  * the hierarchical TimerWheel — high-churn per-flow timers (probation
+///    probes/decisions, keep-alives) with O(1) schedule/cancel/reschedule,
+///    quantized to the wheel resolution.
+/// The run loop interleaves both in time order; at equal times, queue
+/// events fire before wheel timers (deterministic regardless of internals).
 
 #include <cstdint>
+#include <utility>
 
 #include "sim/event_queue.hpp"
+#include "sim/timer_wheel.hpp"
 #include "sim/types.hpp"
 
 namespace mafic::sim {
 
 class Simulator {
  public:
-  Simulator() = default;
+  explicit Simulator(SimTime timer_resolution = 0.0005)
+      : wheel_(timer_resolution) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -33,8 +45,31 @@ class Simulator {
   /// Cancels a pending event; safe to call with stale ids.
   bool cancel(EventId id) { return queue_.cancel(id); }
 
-  /// Runs until the queue drains or stop() is called. Returns the number of
-  /// events processed.
+  /// Schedules `fn` on the timer wheel after `delay` seconds. Fires at the
+  /// first tick boundary at or after the nominal time. Prefer this over
+  /// schedule() for per-flow timers that are frequently cancelled or
+  /// rescheduled — all three operations are O(1) on the wheel.
+  TimerId schedule_timer(SimTime delay, TimerFn fn) {
+    return wheel_.schedule_at(delay > 0 ? now_ + delay : now_,
+                              std::move(fn));
+  }
+
+  /// Schedules `fn` on the timer wheel at absolute time `t`.
+  TimerId schedule_timer_at(SimTime t, TimerFn fn) {
+    return wheel_.schedule_at(t < now_ ? now_ : t, std::move(fn));
+  }
+
+  /// Cancels a pending wheel timer; safe to call with stale ids.
+  bool cancel_timer(TimerId id) { return wheel_.cancel(id); }
+
+  /// Moves a pending wheel timer to absolute time `t`, keeping its id.
+  /// Returns false when the id is stale (fire a fresh schedule_timer_at).
+  bool reschedule_timer(TimerId id, SimTime t) {
+    return wheel_.reschedule(id, t < now_ ? now_ : t);
+  }
+
+  /// Runs until both event sources drain or stop() is called. Returns the
+  /// number of events processed.
   std::size_t run();
 
   /// Processes every event with time <= t, then advances the clock to t.
@@ -43,12 +78,24 @@ class Simulator {
   /// Requests that run()/run_until() return after the current event.
   void stop() noexcept { stopped_ = true; }
 
-  bool pending() const noexcept { return !queue_.empty(); }
-  std::size_t pending_count() const noexcept { return queue_.size(); }
+  bool pending() const noexcept {
+    return !queue_.empty() || !wheel_.empty();
+  }
+  std::size_t pending_count() const noexcept {
+    return queue_.size() + wheel_.size();
+  }
   std::uint64_t events_processed() const noexcept { return processed_; }
 
+  const TimerWheel& timer_wheel() const noexcept { return wheel_; }
+
  private:
+  /// Time of the next event across both sources; pending() must be true.
+  SimTime next_event_time();
+  /// Pops and runs the next event; advances the clock.
+  void step();
+
   EventQueue queue_;
+  TimerWheel wheel_;
   SimTime now_ = 0.0;
   bool stopped_ = false;
   std::uint64_t processed_ = 0;

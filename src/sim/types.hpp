@@ -24,6 +24,12 @@ constexpr FlowId kUntrackedFlow = 0;
 using EventId = std::uint64_t;
 constexpr EventId kInvalidEvent = 0;
 
+/// Handle for timers on the hierarchical timer wheel (see TimerWheel /
+/// Simulator::schedule_timer). Generation-tagged: stale handles are safely
+/// rejected by cancel/reschedule.
+using TimerId = std::uint64_t;
+constexpr TimerId kInvalidTimer = 0;
+
 enum class Protocol : std::uint8_t { kTcp, kUdp, kControl };
 
 const char* to_string(Protocol p) noexcept;

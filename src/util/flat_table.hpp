@@ -1,0 +1,240 @@
+#pragma once
+
+/// \file flat_table.hpp
+/// Cache-friendly open-addressing hash table: 64-bit keys over contiguous
+/// slots with robin-hood probing and backward-shift deletion (no
+/// tombstones). Built for the MAFIC flow store, where the keys are already
+/// well-mixed 64-bit label hashes and the value is a small flow record.
+///
+/// Design points:
+///  * One flat array of {key, probe-distance, value} slots; a lookup is a
+///    short linear scan over adjacent cache lines instead of the
+///    node-per-entry pointer chase of std::unordered_map.
+///  * Robin-hood insertion bounds the variance of probe distances, so the
+///    worst-case lookup stays short even near the load-factor ceiling.
+///  * Backward-shift deletion keeps the table tombstone-free: erase cost is
+///    paid once instead of polluting every later probe.
+///  * The table grows by doubling up to a fixed bound given at
+///    construction. Once the working set is resident no further
+///    allocation ever happens — the datapath premise of the flow store.
+///
+/// Slot indices derive from Fibonacci hashing of the key so that small
+/// integer keys (tests) and mixed label hashes (production) both spread.
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mafic::util {
+
+template <typename Value>
+class FlatTable {
+ public:
+  /// `max_entries` bounds how many keys the table will ever hold at once
+  /// (the caller enforces it; the table only sizes for it). `max_load`
+  /// caps occupancy per allocated slot array.
+  explicit FlatTable(std::size_t max_entries, double max_load = 0.8)
+      : max_entries_(max_entries < 1 ? 1 : max_entries),
+        max_load_(max_load < 0.99 ? (max_load > 0.1 ? max_load : 0.1)
+                                  : 0.99) {
+    reallocate(kMinSlots);
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t slot_count() const noexcept { return slots_.size(); }
+  std::size_t max_entries() const noexcept { return max_entries_; }
+
+  Value* find(std::uint64_t key) noexcept {
+    std::size_t idx = home(key);
+    std::uint32_t dist = 1;
+    while (slots_[idx].dist >= dist) {
+      if (slots_[idx].key == key) return &slots_[idx].value;
+      idx = (idx + 1) & mask_;
+      ++dist;
+    }
+    return nullptr;
+  }
+
+  const Value* find(std::uint64_t key) const noexcept {
+    return const_cast<FlatTable*>(this)->find(key);
+  }
+
+  bool contains(std::uint64_t key) const noexcept {
+    return find(key) != nullptr;
+  }
+
+  /// Inserts `key` with a default-constructed value. Returns the value
+  /// slot and whether insertion happened (false: key already present, the
+  /// existing value is returned). The caller must keep size() within
+  /// max_entries(); exceeding it is a programming error.
+  std::pair<Value*, bool> insert(std::uint64_t key) {
+    assert(size_ < max_entries_ && "FlatTable over its entry bound");
+    if ((size_ + 1) * kLoadDen > slots_.size() * load_num_ &&
+        slots_.size() < bound_slots_) {
+      reallocate(slots_.size() * 2);
+    }
+
+    std::size_t idx = home(key);
+    std::uint32_t dist = 1;
+    std::uint64_t cur_key = key;
+    Value cur_val{};
+    Value* placed = nullptr;
+    for (;;) {
+      Slot& s = slots_[idx];
+      if (s.dist == 0) {
+        s.key = cur_key;
+        s.dist = dist;
+        s.value = std::move(cur_val);
+        ++size_;
+        return {placed != nullptr ? placed : &s.value, true};
+      }
+      if (s.key == cur_key) {
+        // Only reachable while still carrying the original key: all
+        // resident keys are unique, so a displaced carry never matches.
+        return {&s.value, false};
+      }
+      if (s.dist < dist) {  // robin hood: rich slot yields to the poor key
+        std::swap(cur_key, s.key);
+        std::swap(dist, s.dist);
+        std::swap(cur_val, s.value);
+        if (placed == nullptr) placed = &s.value;
+      }
+      idx = (idx + 1) & mask_;
+      ++dist;
+    }
+  }
+
+  bool erase(std::uint64_t key) noexcept {
+    std::size_t idx = home(key);
+    std::uint32_t dist = 1;
+    while (slots_[idx].dist >= dist) {
+      if (slots_[idx].key == key) {
+        shift_back(idx);
+        --size_;
+        return true;
+      }
+      idx = (idx + 1) & mask_;
+      ++dist;
+    }
+    return false;
+  }
+
+  void clear() noexcept {
+    for (Slot& s : slots_) {
+      if (s.dist != 0) {
+        s.value = Value{};
+        s.dist = 0;
+      }
+    }
+    size_ = 0;
+  }
+
+  /// Visits every (key, value) pair in slot order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.dist != 0) fn(s.key, s.value);
+    }
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (Slot& s : slots_) {
+      if (s.dist != 0) fn(s.key, s.value);
+    }
+  }
+
+  /// Visits occupied slots starting at slot index `hint` (wrapping),
+  /// stopping at the first entry for which `fn` returns true. Returns the
+  /// matched slot index — pass it back as the next scan's hint for
+  /// amortized-O(1) round-robin selection (e.g. capacity eviction) — or
+  /// kNpos when nothing matched.
+  static constexpr std::size_t kNpos = ~std::size_t{0};
+
+  template <typename Fn>
+  std::size_t scan(std::size_t hint, Fn&& fn) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const std::size_t at = (hint + i) & mask_;
+      const Slot& s = slots_[at];
+      if (s.dist != 0 && fn(s.key, s.value)) return at;
+    }
+    return kNpos;
+  }
+
+  /// Longest current probe sequence (diagnostics; robin hood keeps this
+  /// small even at high load).
+  std::uint32_t max_probe_length() const noexcept {
+    std::uint32_t m = 0;
+    for (const Slot& s : slots_) {
+      if (s.dist > m) m = s.dist;
+    }
+    return m;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint32_t dist = 0;  ///< probe distance + 1; 0 = empty
+    Value value{};
+  };
+
+  static constexpr std::size_t kMinSlots = 16;
+  static constexpr std::size_t kLoadDen = 1024;
+
+  std::size_t home(std::uint64_t key) const noexcept {
+    // Fibonacci hashing: spreads both raw small integers and mixed hashes.
+    return static_cast<std::size_t>((key * 0x9e3779b97f4a7c15ULL) >> shift_);
+  }
+
+  void shift_back(std::size_t idx) noexcept {
+    for (;;) {
+      const std::size_t nxt = (idx + 1) & mask_;
+      if (slots_[nxt].dist <= 1) {
+        slots_[idx].value = Value{};
+        slots_[idx].dist = 0;
+        return;
+      }
+      slots_[idx].key = slots_[nxt].key;
+      slots_[idx].dist = slots_[nxt].dist - 1;
+      slots_[idx].value = std::move(slots_[nxt].value);
+      idx = nxt;
+    }
+  }
+
+  static std::size_t next_pow2(std::size_t n) noexcept {
+    std::size_t p = kMinSlots;
+    while (p < n) p *= 2;
+    return p;
+  }
+
+  void reallocate(std::size_t new_slot_count) {
+    load_num_ = static_cast<std::size_t>(max_load_ * kLoadDen);
+    bound_slots_ = next_pow2(
+        static_cast<std::size_t>(double(max_entries_) / max_load_) + 1);
+    if (new_slot_count > bound_slots_) new_slot_count = bound_slots_;
+
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_slot_count, Slot{});
+    mask_ = new_slot_count - 1;
+    shift_ = 64 - std::countr_zero(new_slot_count);
+    size_ = 0;
+    for (Slot& s : old) {
+      if (s.dist != 0) *insert(s.key).first = std::move(s.value);
+    }
+  }
+
+  std::size_t max_entries_;
+  double max_load_;
+  std::size_t load_num_ = 0;
+  std::size_t bound_slots_ = kMinSlots;
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  unsigned shift_ = 64;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mafic::util

@@ -143,6 +143,78 @@ TEST_F(FlowTablesTest, StatsCountAdmissions) {
   EXPECT_EQ(tables.stats().sft_admissions, 2u);
 }
 
+TEST_F(FlowTablesTest, EvictionHookFiresOnCapacityEviction) {
+  MaficConfig small;
+  small.sft_capacity = 2;
+  FlowTables t(small);
+  t.set_eviction_hook([](const SftEntry& e) {
+    // The owner cancels these timers; here we just record which entry
+    // was handed out.
+    EXPECT_EQ(e.key, 1u);
+  });
+  t.admit_sft(1, label(1), 0.0, 0.2);  // earliest deadline -> evicted
+  t.admit_sft(2, label(2), 1.0, 0.2);
+  t.admit_sft(3, label(3), 2.0, 0.2);
+  EXPECT_EQ(t.stats().sft_evictions, 1u);
+  EXPECT_EQ(t.classify(1), TableKind::kNone);
+}
+
+TEST_F(FlowTablesTest, EvictionHookFiresForEveryProbationOnFlush) {
+  MaficConfig cfg2;
+  FlowTables t(cfg2);
+  std::vector<std::uint64_t> evicted;
+  t.set_eviction_hook(
+      [&](const SftEntry& e) { evicted.push_back(e.key); });
+  t.admit_sft(1, label(1), 0.0, 0.2);
+  t.admit_sft(2, label(2), 0.0, 0.2);
+  t.add_pdt_direct(3);  // non-SFT entries have no timers: no hook
+  t.flush();
+  std::sort(evicted.begin(), evicted.end());
+  EXPECT_EQ(evicted, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST_F(FlowTablesTest, ResolveHandsBackEntryWithoutHook) {
+  // Resolution is the *decided* exit: the filter cancels timers itself in
+  // decide(); the hook must not double-fire.
+  int hook_calls = 0;
+  tables.set_eviction_hook([&](const SftEntry&) { ++hook_calls; });
+  tables.admit_sft(1, label(1), 0.0, 0.2);
+  tables.resolve(1, TableKind::kNice);
+  EXPECT_EQ(hook_calls, 0);
+}
+
+TEST_F(FlowTablesTest, SingleStoreKeepsKindExclusive) {
+  // Flat-store invariant: one probe sequence, one record, one kind.
+  // Cycle a key through every transition and confirm the store never
+  // reports double membership.
+  tables.admit_sft(7, label(7), 0.0, 0.2);
+  EXPECT_EQ(tables.resident(), 1u);
+  tables.resolve(7, TableKind::kNice);
+  EXPECT_EQ(tables.resident(), 1u);
+  EXPECT_TRUE(tables.in_nft(7));
+  EXPECT_FALSE(tables.in_pdt(7));
+  EXPECT_EQ(tables.find_sft(7), nullptr);
+}
+
+TEST_F(FlowTablesTest, ArenaRecyclesSlotsUnderChurn) {
+  // Admit/resolve churn far past sft_capacity: per-kind sizes must track
+  // and the store must not leak resident entries.
+  MaficConfig cfg2;
+  cfg2.sft_capacity = 8;
+  cfg2.nft_capacity = 1 << 20;
+  cfg2.pdt_capacity = 1 << 20;
+  FlowTables t(cfg2);
+  for (std::uint64_t k = 0; k < 10000; ++k) {
+    ASSERT_NE(t.admit_sft(k, label(std::uint32_t(k)), double(k), 0.2),
+              nullptr);
+    t.resolve(k, k % 2 == 0 ? TableKind::kNice : TableKind::kPermanentDrop);
+  }
+  EXPECT_EQ(t.sft_size(), 0u);
+  EXPECT_EQ(t.nft_size(), 5000u);
+  EXPECT_EQ(t.pdt_size(), 5000u);
+  EXPECT_EQ(t.resident(), 10000u);
+}
+
 TEST(TableKindNames, ToString) {
   EXPECT_STREQ(to_string(TableKind::kNone), "none");
   EXPECT_STREQ(to_string(TableKind::kSuspicious), "SFT");

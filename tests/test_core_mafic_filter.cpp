@@ -145,7 +145,6 @@ TEST_F(MaficFilterTest, ScreeningCanBeDisabled) {
   raw->set_target(nullptr);
   raw->recv(std::move(p));
   EXPECT_EQ(raw->stats().screened_sources, 0u);
-  (void)f.release();  // owned by nothing; intentional for this throwaway
 }
 
 TEST_F(MaficFilterTest, UnresponsiveFlowEndsInPdt) {

@@ -117,6 +117,46 @@ TEST(EventQueue, PoppedEventReportsTimeAndId) {
   EXPECT_EQ(ev.id, id);
 }
 
+TEST(EventQueue, CompactionBoundsCancelledGarbage) {
+  EventQueue q;
+  // Heavy probation-style churn: schedule and cancel in waves while a few
+  // long-lived events stay resident. Without compaction the heap would
+  // hold every cancelled corpse until it surfaced.
+  std::vector<EventId> wave;
+  for (int round = 0; round < 100; ++round) {
+    wave.clear();
+    for (int i = 0; i < 100; ++i) {
+      wave.push_back(q.push(1000.0 + round + i * 0.001, [] {}));
+    }
+    for (const EventId id : wave) q.cancel(id);
+  }
+  q.push(1.0, [] {});
+  // 10k cancelled entries went through; the heap must stay within 2x the
+  // live size plus the compaction floor.
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_LT(q.heap_footprint(), 128u);
+  EXPECT_GT(q.compactions(), 0u);
+  EXPECT_DOUBLE_EQ(q.next_time(), 1.0);
+}
+
+TEST(EventQueue, CompactionPreservesOrderAndLiveness) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> doomed;
+  for (int i = 0; i < 200; ++i) {
+    q.push(double(i), [&order, i] { order.push_back(i); });
+    doomed.push_back(q.push(double(i) + 0.5, [] { FAIL(); }));
+  }
+  for (const EventId id : doomed) q.cancel(id);
+  int expect = 0;
+  while (!q.empty()) {
+    auto ev = q.pop();
+    ev.fn();
+    ASSERT_EQ(order.back(), expect++);
+  }
+  EXPECT_EQ(expect, 200);
+}
+
 TEST(EventQueue, ManyEventsStressOrdering) {
   EventQueue q;
   for (int i = 999; i >= 0; --i) {

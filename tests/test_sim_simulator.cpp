@@ -128,5 +128,59 @@ TEST(Simulator, SimultaneousEventsRunInScheduleOrder) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
+TEST(Simulator, WheelTimersInterleaveWithQueueEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_timer_at(0.030, [&] { order.push_back(3); });
+  sim.schedule_at(0.010, [&] { order.push_back(1); });
+  sim.schedule_timer_at(0.020, [&] { order.push_back(2); });
+  sim.schedule_at(0.040, [&] { order.push_back(4); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(sim.now(), 0.040);
+}
+
+TEST(Simulator, QueueEventsWinTiesAgainstWheelTimers) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_timer_at(0.010, [&] { order.push_back(2); });
+  sim.schedule_at(0.010, [&] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, CancelAndRescheduleTimers) {
+  Simulator sim;
+  bool cancelled_ran = false;
+  std::vector<double> fired;
+  const TimerId doomed =
+      sim.schedule_timer(0.5, [&] { cancelled_ran = true; });
+  const TimerId moved = sim.schedule_timer(0.5, [&] {
+    fired.push_back(sim.now());
+  });
+  EXPECT_TRUE(sim.cancel_timer(doomed));
+  EXPECT_TRUE(sim.reschedule_timer(moved, 1.5));
+  sim.run();
+  EXPECT_FALSE(cancelled_ran);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_DOUBLE_EQ(fired[0], 1.5);
+}
+
+TEST(Simulator, TimerScheduledAfterIdlePeekFiresOnTime) {
+  // Regression: run_until() peeks the wheel's next_time, advancing its
+  // internal cursor toward a far-future timer; a timer scheduled *after*
+  // that peek for an earlier time must still fire at its own time.
+  Simulator sim;
+  std::vector<double> fired;
+  sim.schedule_timer_at(100.0, [&] { fired.push_back(sim.now()); });
+  sim.run_until(1.0);  // nothing fires; merely peeks the wheel
+  EXPECT_TRUE(fired.empty());
+  sim.schedule_timer_at(2.0, [&] { fired.push_back(sim.now()); });
+  sim.run_until(3.0);
+  EXPECT_EQ(fired, (std::vector<double>{2.0}));
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<double>{2.0, 100.0}));
+}
+
 }  // namespace
 }  // namespace mafic::sim

@@ -1,0 +1,156 @@
+#include "util/flat_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mafic::util {
+namespace {
+
+TEST(FlatTable, EmptyFindsNothing) {
+  FlatTable<int> t(16);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.find(42), nullptr);
+  EXPECT_FALSE(t.contains(42));
+}
+
+TEST(FlatTable, InsertFindRoundtrip) {
+  FlatTable<int> t(16);
+  auto [v, inserted] = t.insert(42);
+  ASSERT_TRUE(inserted);
+  *v = 7;
+  EXPECT_EQ(t.size(), 1u);
+  ASSERT_NE(t.find(42), nullptr);
+  EXPECT_EQ(*t.find(42), 7);
+}
+
+TEST(FlatTable, DuplicateInsertReturnsExisting) {
+  FlatTable<int> t(16);
+  *t.insert(42).first = 7;
+  auto [v, inserted] = t.insert(42);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(*v, 7);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(FlatTable, EraseRemovesOnlyTarget) {
+  FlatTable<int> t(64);
+  for (std::uint64_t k = 0; k < 32; ++k) *t.insert(k).first = int(k);
+  EXPECT_TRUE(t.erase(17));
+  EXPECT_FALSE(t.erase(17));  // already gone
+  EXPECT_EQ(t.size(), 31u);
+  for (std::uint64_t k = 0; k < 32; ++k) {
+    if (k == 17) {
+      EXPECT_EQ(t.find(k), nullptr);
+    } else {
+      ASSERT_NE(t.find(k), nullptr) << k;
+      EXPECT_EQ(*t.find(k), int(k));
+    }
+  }
+}
+
+TEST(FlatTable, EraseMissingKeyIsHarmless) {
+  FlatTable<int> t(16);
+  t.insert(1);
+  EXPECT_FALSE(t.erase(999));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(FlatTable, ClearEmptiesEverything) {
+  FlatTable<int> t(64);
+  for (std::uint64_t k = 0; k < 20; ++k) t.insert(k);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  for (std::uint64_t k = 0; k < 20; ++k) EXPECT_EQ(t.find(k), nullptr);
+  // Usable again after clear.
+  *t.insert(5).first = 50;
+  EXPECT_EQ(*t.find(5), 50);
+}
+
+TEST(FlatTable, GrowsToBoundAndHoldsMaxEntries) {
+  FlatTable<int> t(1000, 0.8);
+  for (std::uint64_t k = 0; k < 1000; ++k) *t.insert(k).first = int(k);
+  EXPECT_EQ(t.size(), 1000u);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_NE(t.find(k), nullptr) << k;
+    EXPECT_EQ(*t.find(k), int(k));
+  }
+}
+
+TEST(FlatTable, SlotArrayStopsGrowingAtBound) {
+  FlatTable<int> t(100, 0.8);
+  for (std::uint64_t k = 0; k < 100; ++k) t.insert(k);
+  const std::size_t slots = t.slot_count();
+  // Delete + reinsert cycles must not grow the backing array further.
+  for (int round = 1; round <= 10; ++round) {
+    for (std::uint64_t k = 0; k < 100; ++k) {
+      ASSERT_TRUE(t.erase(k + 1000 * (round - 1)));
+    }
+    for (std::uint64_t k = 0; k < 100; ++k) t.insert(k + 1000 * round);
+  }
+  EXPECT_EQ(t.size(), 100u);
+  EXPECT_EQ(t.slot_count(), slots);
+}
+
+TEST(FlatTable, ForEachVisitsEveryEntry) {
+  FlatTable<int> t(64);
+  for (std::uint64_t k = 10; k < 20; ++k) *t.insert(k).first = int(k * 2);
+  std::unordered_map<std::uint64_t, int> seen;
+  t.for_each([&](std::uint64_t key, const int& v) { seen[key] = v; });
+  EXPECT_EQ(seen.size(), 10u);
+  for (std::uint64_t k = 10; k < 20; ++k) EXPECT_EQ(seen[k], int(k * 2));
+}
+
+TEST(FlatTable, RobinHoodKeepsProbesShortAtHighLoad) {
+  FlatTable<int> t(10000, 0.9);
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) t.insert(rng.next());
+  // Robin-hood bounds probe-length variance; at 0.9 load the longest
+  // probe sequence stays small (a plain linear probe would show spikes
+  // in the hundreds).
+  EXPECT_LE(t.max_probe_length(), 64u);
+}
+
+/// Churn fuzz against a reference map: interleaved insert/erase/find must
+/// agree with std::unordered_map at every step.
+TEST(FlatTable, FuzzAgainstReferenceMap) {
+  FlatTable<std::uint64_t> t(512);
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Rng rng(1234);
+  for (int step = 0; step < 50000; ++step) {
+    const std::uint64_t key = rng.uniform_int(0, 700);  // force collisions
+    switch (rng.uniform_int(0, 2)) {
+      case 0: {  // insert (bounded)
+        if (ref.size() < 512 && !ref.contains(key)) {
+          const std::uint64_t value = rng.next();
+          *t.insert(key).first = value;
+          ref[key] = value;
+        }
+        break;
+      }
+      case 1: {  // erase
+        EXPECT_EQ(t.erase(key), ref.erase(key) > 0) << "step " << step;
+        break;
+      }
+      case 2: {  // find
+        const auto it = ref.find(key);
+        auto* v = t.find(key);
+        if (it == ref.end()) {
+          EXPECT_EQ(v, nullptr) << "step " << step;
+        } else {
+          ASSERT_NE(v, nullptr) << "step " << step;
+          EXPECT_EQ(*v, it->second) << "step " << step;
+        }
+        break;
+      }
+    }
+    EXPECT_EQ(t.size(), ref.size());
+  }
+}
+
+}  // namespace
+}  // namespace mafic::util
