@@ -79,6 +79,14 @@ struct MaficConfig {
   /// this value.
   double timer_wheel_resolution = 0.0005;
 
+  /// Initial bucket count of the SFT deadline-bucketed eviction ring
+  /// (rounded up to a power of two). Buckets are one timer-wheel tick
+  /// wide; capacity eviction pops the nearest-deadline probation from the
+  /// first occupied bucket in O(1) amortized. The ring doubles on demand
+  /// (up to 65536 buckets) when live probation deadlines span more ticks;
+  /// 512 covers the widest paper window (2 x max_rtt) with headroom.
+  std::size_t sft_eviction_ring_buckets = 512;
+
   /// Reject sources whose address is illegal (outside every registered
   /// subnet) or unreachable (never allocated) straight into the PDT.
   bool address_screening = true;

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file engine_seams.hpp
+/// The three seams that make the MAFIC decision engine simulator-agnostic.
+///
+/// FilterEngine (filter_engine.hpp) owns the Fig. 2 control flow — flow
+/// tables, probation windows, the Pd coin and the decision rule — but not
+/// the environment it runs in. Everything environmental reaches it through
+/// these interfaces:
+///
+///   Clock        — "what time is it" (sim clock, shard-local clock, TSC…)
+///   TimerService — arm/cancel/move the per-probation probe and decision
+///                  timers (the simulator's wheel, or a shard-private
+///                  wheel driven by the datapath thread)
+///   ProbeSink    — emit the duplicate-ACK probe toward a flow's claimed
+///                  source (a wired Prober in simulation, a raw socket in
+///                  a deployment, a counter in benches)
+///
+/// The discrete-event adapter is core::MaficFilter; the standalone
+/// shard runtime is core::EngineRuntime (standalone_runtime.hpp). Both
+/// drive the *same* engine object, which is what lets the fixed-seed
+/// classification goldens pin the sharded datapath too.
+
+#include "sim/packet.hpp"
+#include "sim/types.hpp"
+#include "util/unique_function.hpp"
+
+namespace mafic::core {
+
+/// Timer callback type shared with the hierarchical wheel: inline-storable,
+/// so arming a probation timer performs no heap allocation.
+using TimerFn = util::UniqueFunction<void()>;
+
+/// Read-only time source. Implementations must be monotonic within one
+/// engine's lifetime; the engine never compares times across engines.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual double now() const noexcept = 0;
+};
+
+/// O(1)-amortized one-shot timers at absolute times. Semantics follow
+/// sim::TimerWheel: a timer scheduled at `t` fires at the first tick
+/// boundary at or after `t`; cancel/reschedule of a stale id returns
+/// false and is harmless.
+class TimerService {
+ public:
+  virtual ~TimerService() = default;
+  virtual sim::TimerId schedule_at(double t, TimerFn fn) = 0;
+  virtual bool cancel(sim::TimerId id) = 0;
+  virtual bool reschedule(sim::TimerId id, double t) = 0;
+};
+
+/// Emits the duplicate-ACK probe train toward `flow`'s claimed source.
+class ProbeSink {
+ public:
+  virtual ~ProbeSink() = default;
+  virtual void send_probe(const sim::FlowLabel& flow) = 0;
+};
+
+}  // namespace mafic::core

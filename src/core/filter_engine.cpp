@@ -1,0 +1,251 @@
+#include "core/filter_engine.hpp"
+
+#include <algorithm>
+
+namespace mafic::core {
+
+FilterEngine::FilterEngine(MaficConfig cfg, Clock* clock,
+                           TimerService* timers, ProbeSink* probes,
+                           const AddressPolicy* policy, util::Rng rng)
+    : cfg_(cfg),
+      clock_(clock),
+      timers_(timers),
+      probes_(probes),
+      tables_(cfg_),
+      rtt_(cfg_),
+      policy_(policy),
+      rng_(rng) {
+  // Probations leaving the SFT without a decision (capacity eviction or
+  // flush) must not leave their probe/decision timers armed: the stale
+  // callbacks could fire into a *new* probation of the same key.
+  tables_.set_eviction_hook(
+      [this](const SftEntry& e) { cancel_entry_timers(e); });
+}
+
+void FilterEngine::activate(const VictimSet& victims) {
+  for (const auto v : victims) victims_.insert(v);
+  active_ = true;
+  refresh();
+}
+
+void FilterEngine::refresh() {
+  if (!active_ || cfg_.refresh_timeout <= 0.0) return;
+  expires_at_ = clock_->now() + cfg_.refresh_timeout;
+  // Keep-alive on the wheel: each refresh is an O(1) reschedule instead of
+  // abandoning a lazily-cancelled heap event.
+  if (expiry_timer_ != sim::kInvalidTimer &&
+      timers_->reschedule(expiry_timer_, expires_at_)) {
+    return;
+  }
+  expiry_timer_ = timers_->schedule_at(expires_at_, [this] {
+    expiry_timer_ = sim::kInvalidTimer;
+    if (active_) deactivate();  // "Pushback Continue? -> No"
+  });
+}
+
+void FilterEngine::deactivate() {
+  active_ = false;
+  victims_.clear();
+  tables_.flush();  // "End dropping & Flush all tables"
+  rtt_.clear();
+  if (expiry_timer_ != sim::kInvalidTimer) {
+    timers_->cancel(expiry_timer_);
+    expiry_timer_ = sim::kInvalidTimer;
+  }
+}
+
+EngineVerdict FilterEngine::inspect(const sim::Packet& p) {
+  if (!active_) return EngineVerdict::kForward;
+  if (!victims_.contains(p.label.dst)) return EngineVerdict::kForward;
+  if (p.proto == sim::Protocol::kControl) return EngineVerdict::kForward;
+  return inspect_keyed(p, sim::hash_label(p.label));
+}
+
+EngineVerdict FilterEngine::inspect_hashed(const sim::Packet& p,
+                                           std::uint64_t key) {
+  if (!active_) return EngineVerdict::kForward;
+  if (!victims_.contains(p.label.dst)) return EngineVerdict::kForward;
+  if (p.proto == sim::Protocol::kControl) return EngineVerdict::kForward;
+  return inspect_keyed(p, key);
+}
+
+void FilterEngine::inspect_batch(const sim::Packet* pkts, std::size_t n,
+                                 EngineVerdict* out) {
+  // Prefetch window: wide enough to overlap several DRAM round trips,
+  // small enough that the prefetched lines survive until their lookup.
+  constexpr std::size_t kWindow = 16;
+  std::uint64_t keys[kWindow];
+  std::uint8_t hot[kWindow];  // victim-bound and inspectable
+
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t m = std::min(kWindow, n - i);
+    for (std::size_t j = 0; j < m; ++j) {
+      const sim::Packet& p = pkts[i + j];
+      const bool h = active_ && victims_.contains(p.label.dst) &&
+                     p.proto != sim::Protocol::kControl;
+      hot[j] = h ? 1 : 0;
+      if (h) {
+        keys[j] = sim::hash_label(p.label);
+        tables_.prefetch(keys[j]);
+      }
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      out[i + j] = hot[j] != 0 ? inspect_keyed(pkts[i + j], keys[j])
+                               : EngineVerdict::kForward;
+    }
+    i += m;
+  }
+}
+
+EngineVerdict FilterEngine::inspect_keyed(const sim::Packet& p,
+                                          std::uint64_t key) {
+  ++stats_.offered;
+  if (on_offered_) on_offered_(p);
+
+  const double now = clock_->now();
+
+  // Router-side RTT refinement from the timestamp echo.
+  if (p.tsecr > 0.0) rtt_.observe(key, now - p.tsecr);
+
+  switch (tables_.classify(key, now)) {
+    case TableKind::kPermanentDrop:
+      ++stats_.dropped_pdt;
+      return EngineVerdict::kDropPdt;
+
+    case TableKind::kNice:
+      ++stats_.forwarded;
+      return EngineVerdict::kForward;
+
+    case TableKind::kSuspicious: {
+      SftEntry* e = tables_.find_sft(key);
+      if (now >= e->deadline) {
+        // Timer expired and the decision event has not fired yet (same
+        // timestamp): decide now, then treat this packet under the new
+        // table.
+        const TableKind dest = decide(key);
+        if (dest == TableKind::kPermanentDrop) {
+          ++stats_.dropped_pdt;
+          return EngineVerdict::kDropPdt;
+        }
+        ++stats_.forwarded;
+        return EngineVerdict::kForward;
+      }
+      if (now < e->split_time) {
+        ++e->baseline_count;
+      } else {
+        ++e->probe_count;
+      }
+      const bool drop_it =
+          cfg_.drop_all_in_sft || rng_.bernoulli(cfg_.drop_probability);
+      if (drop_it) {
+        ++stats_.dropped_probation;
+        return EngineVerdict::kDropProbation;
+      }
+      ++stats_.forwarded;
+      return EngineVerdict::kForward;
+    }
+
+    case TableKind::kNone:
+      break;
+  }
+
+  // New flow. Screen clearly-bogus sources first (paper section III-A).
+  if (cfg_.address_screening && policy_ != nullptr &&
+      !policy_->acceptable(p.label.src)) {
+    tables_.add_pdt_direct(key);
+    ++stats_.screened_sources;
+    ++stats_.dropped_pdt;
+    ++victim_stats_[p.label.dst].screened_sources;
+    return EngineVerdict::kDropPdt;
+  }
+
+  // "Drop packet with probability Pd"; the drop is what opens probation.
+  if (rng_.bernoulli(cfg_.drop_probability)) {
+    admit(p, key);
+    ++stats_.dropped_probation;
+    return EngineVerdict::kDropProbation;
+  }
+  ++stats_.forwarded;
+  return EngineVerdict::kForward;
+}
+
+void FilterEngine::admit(const sim::Packet& p, std::uint64_t key) {
+  const double window = cfg_.probe_window_rtt_multiple * rtt_.rtt(key);
+  SftEntry* e = tables_.admit_sft(key, p.label, clock_->now(), window);
+  if (e == nullptr) return;  // raced into another table (should not happen)
+  // The admitting packet itself is NOT counted into the baseline half:
+  // it is present by construction (it opened the probation), so counting
+  // it would bias the baseline up by one and let arrival jitter fake a
+  // "decrease" on slow flows.
+  if (cfg_.probe_enabled) schedule_probe(*e);
+  schedule_decision(*e);
+}
+
+void FilterEngine::schedule_probe(SftEntry& e) {
+  const std::uint64_t key = e.key;
+  e.probe_timer = timers_->schedule_at(e.split_time, [this, key] {
+    if (!active_) return;
+    SftEntry* entry = tables_.find_sft(key);
+    if (entry == nullptr || entry->probe_sent) return;
+    entry->probe_sent = true;
+    entry->probe_timer = sim::kInvalidTimer;
+    ++stats_.probes_issued;
+    probes_->send_probe(entry->label);
+  });
+}
+
+void FilterEngine::schedule_decision(SftEntry& e) {
+  const std::uint64_t key = e.key;
+  // Epsilon after the deadline so that a packet arriving exactly at the
+  // deadline is handled by the lazy path first (the wheel then rounds up
+  // to its next tick, which the lazy path also covers).
+  e.decision_timer =
+      timers_->schedule_at(e.deadline + 1e-9, [this, key] {
+        if (!active_) return;
+        if (tables_.find_sft(key) != nullptr) decide(key);
+      });
+}
+
+void FilterEngine::cancel_entry_timers(const SftEntry& e) {
+  if (e.probe_timer != sim::kInvalidTimer) timers_->cancel(e.probe_timer);
+  if (e.decision_timer != sim::kInvalidTimer) {
+    timers_->cancel(e.decision_timer);
+  }
+}
+
+TableKind FilterEngine::decide(std::uint64_t key) {
+  SftEntry* e = tables_.find_sft(key);
+  if (e == nullptr) return TableKind::kNone;
+
+  cancel_entry_timers(*e);
+
+  bool decreased;
+  if (e->baseline_count < cfg_.min_baseline_packets) {
+    // Too thin to judge: benefit of the doubt.
+    decreased = true;
+  } else {
+    const bool relative_drop =
+        static_cast<double>(e->probe_count) <
+        cfg_.decrease_ratio * static_cast<double>(e->baseline_count);
+    const bool absolute_drop =
+        e->probe_count + cfg_.min_absolute_decrease <= e->baseline_count;
+    decreased = relative_drop && absolute_drop;
+  }
+
+  const TableKind dest =
+      decreased ? TableKind::kNice : TableKind::kPermanentDrop;
+  const SftEntry resolved = tables_.resolve(key, dest, clock_->now());
+  VictimStats& vs = victim_stats_[resolved.label.dst];
+  if (dest == TableKind::kNice) {
+    ++stats_.decided_nice;
+    ++vs.decided_nice;
+  } else {
+    ++stats_.decided_malicious;
+    ++vs.decided_malicious;
+  }
+  if (on_classified_) on_classified_(resolved, dest);
+  return dest;
+}
+
+}  // namespace mafic::core

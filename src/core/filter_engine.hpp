@@ -1,0 +1,161 @@
+#pragma once
+
+/// \file filter_engine.hpp
+/// The simulator-agnostic MAFIC decision engine — the paper's Fig. 2
+/// control flow with nothing else attached:
+///
+///   packet destined to a protected victim arrives
+///     -> PDT match?  drop
+///     -> NFT match?  forward
+///     -> SFT match?  update the arrival counts; on timer expiry decide:
+///                    rate decreased => NFT, else => PDT;
+///                    while under probation drop with probability Pd
+///     -> new flow:   illegal/unreachable source => PDT, drop;
+///                    otherwise drop with probability Pd and, when the
+///                    drop fires, admit to SFT, schedule the duplicate-ACK
+///                    probe and the 2 x RTT response timer
+///
+/// The engine owns the per-flow state (FlowTables store + arena, RTT
+/// estimator, Pd RNG) and reaches its environment only through the
+/// Clock / TimerService / ProbeSink seams (engine_seams.hpp). One engine
+/// is single-threaded by construction; multi-core deployments run one
+/// engine per shard with flows partitioned by key hash (sharded_filter.hpp)
+/// and never share an engine across threads.
+///
+/// Batched inspection: inspect_batch() pre-hashes a burst of packets and
+/// software-prefetches each key's home slot in the flat store before
+/// classifying, so the random-access loads overlap instead of serializing
+/// on DRAM latency. Decisions are identical to per-packet inspect() calls
+/// in the same order (the early-outs draw no randomness).
+
+#include <functional>
+#include <unordered_map>
+
+#include "core/actuator.hpp"
+#include "core/address_policy.hpp"
+#include "core/config.hpp"
+#include "core/engine_seams.hpp"
+#include "core/flow_tables.hpp"
+#include "core/rtt_estimator.hpp"
+#include "sim/packet.hpp"
+#include "util/rng.hpp"
+
+namespace mafic::core {
+
+/// The engine's verdict for one packet. The sim adapter maps these onto
+/// sim::DropReason; standalone drivers count them directly.
+enum class EngineVerdict : std::uint8_t {
+  kForward,
+  kDropProbation,  ///< Pd drop (SFT window / admission coin)
+  kDropPdt,        ///< Permanently Drop Table (incl. screened sources)
+};
+
+class FilterEngine {
+ public:
+  struct Stats {
+    std::uint64_t offered = 0;  ///< victim-bound packets inspected
+    std::uint64_t forwarded = 0;
+    std::uint64_t dropped_probation = 0;  ///< Pd drops (SFT / admission)
+    std::uint64_t dropped_pdt = 0;
+    std::uint64_t screened_sources = 0;  ///< illegal/unreachable -> PDT
+    std::uint64_t probes_issued = 0;
+    std::uint64_t decided_nice = 0;
+    std::uint64_t decided_malicious = 0;
+  };
+
+  /// Per-victim decision accounting (multi-victim scenarios): how this
+  /// victim's flows resolved. Keyed by the flow label's destination, so
+  /// one engine protecting several victims reports each independently.
+  struct VictimStats {
+    std::uint64_t decided_nice = 0;
+    std::uint64_t decided_malicious = 0;
+    std::uint64_t screened_sources = 0;
+  };
+
+  /// Invoked when a probation resolves; receives the resolved entry and
+  /// its destination table.
+  using ClassificationCallback =
+      std::function<void(const SftEntry&, TableKind)>;
+  /// Invoked for every victim-bound packet inspected while active.
+  using OfferedCallback = std::function<void(const sim::Packet&)>;
+
+  /// All seam pointers are non-owning and must outlive the engine.
+  /// `policy` may be null (no source screening).
+  FilterEngine(MaficConfig cfg, Clock* clock, TimerService* timers,
+               ProbeSink* probes, const AddressPolicy* policy,
+               util::Rng rng);
+
+  // Not movable: tables_/rtt_ reference the engine's own cfg_, and the
+  // eviction hook captures `this`. Heap-allocate and keep put.
+  FilterEngine(const FilterEngine&) = delete;
+  FilterEngine& operator=(const FilterEngine&) = delete;
+
+  // --- activation (Fig. 2 outer loop) ---------------------------------
+  void activate(const VictimSet& victims);
+  void refresh();
+  void deactivate();
+  bool active() const noexcept { return active_; }
+
+  // --- datapath --------------------------------------------------------
+  EngineVerdict inspect(const sim::Packet& p);
+
+  /// inspect() with the label hash already computed (callers that hashed
+  /// the label to route, e.g. ShardedFilter, avoid hashing twice).
+  /// `key` must equal sim::hash_label(p.label).
+  EngineVerdict inspect_hashed(const sim::Packet& p, std::uint64_t key);
+
+  /// Inspects `n` packets, writing one verdict per packet. Pre-hashes and
+  /// prefetches a window of keys ahead of classification; allocation-free
+  /// in steady state. Equivalent to calling inspect() per packet in order.
+  void inspect_batch(const sim::Packet* pkts, std::size_t n,
+                     EngineVerdict* out);
+
+  void set_classification_callback(ClassificationCallback cb) {
+    on_classified_ = std::move(cb);
+  }
+  void set_offered_callback(OfferedCallback cb) {
+    on_offered_ = std::move(cb);
+  }
+
+  const MaficConfig& config() const noexcept { return cfg_; }
+  const FlowTables& tables() const noexcept { return tables_; }
+  const RttEstimator& rtt_estimator() const noexcept { return rtt_; }
+  const Stats& stats() const noexcept { return stats_; }
+  const std::unordered_map<util::Addr, VictimStats>& victim_stats()
+      const noexcept {
+    return victim_stats_;
+  }
+  const VictimSet& victims() const noexcept { return victims_; }
+
+ private:
+  /// The Fig. 2 walk with the label hash already computed (shared by the
+  /// scalar and batched paths).
+  EngineVerdict inspect_keyed(const sim::Packet& p, std::uint64_t key);
+  /// Resolves a probation according to the two half-window counts.
+  TableKind decide(std::uint64_t key);
+  void admit(const sim::Packet& p, std::uint64_t key);
+  void schedule_probe(SftEntry& e);
+  void schedule_decision(SftEntry& e);
+  void cancel_entry_timers(const SftEntry& e);
+
+  MaficConfig cfg_;
+  Clock* clock_;
+  TimerService* timers_;
+  ProbeSink* probes_;
+  FlowTables tables_;
+  RttEstimator rtt_;
+  const AddressPolicy* policy_;
+  util::Rng rng_;
+
+  bool active_ = false;
+  VictimSet victims_;
+  double expires_at_ = 0.0;
+  sim::TimerId expiry_timer_ = sim::kInvalidTimer;
+
+  ClassificationCallback on_classified_;
+  OfferedCallback on_offered_;
+  Stats stats_;
+  std::unordered_map<util::Addr, VictimStats> victim_stats_;
+};
+
+}  // namespace mafic::core

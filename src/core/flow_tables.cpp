@@ -1,9 +1,25 @@
 #include "core/flow_tables.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 #include <limits>
 
+#include "sim/timer_wheel.hpp"
+
 namespace mafic::core {
+
+namespace {
+/// Ring growth ceiling. Beyond this span (65536 ticks = ~33 s at the
+/// default resolution) far-future deadlines clamp into the last bucket —
+/// eviction order among them degrades to FIFO, which only an absurdly
+/// configured window can reach.
+constexpr std::size_t kMaxRingBuckets = 1u << 16;
+
+std::size_t pow2_at_least(std::size_t n) noexcept {
+  return std::max<std::size_t>(64, std::bit_ceil(n));
+}
+}  // namespace
 
 const char* to_string(TableKind k) noexcept {
   switch (k) {
@@ -22,7 +38,17 @@ const char* to_string(TableKind k) noexcept {
 FlowTables::FlowTables(const MaficConfig& cfg)
     : cfg_(cfg),
       store_(cfg.sft_capacity + cfg.nft_capacity + cfg.pdt_capacity,
-             cfg.flow_store_max_load) {}
+             cfg.flow_store_max_load),
+      ring_res_(cfg.timer_wheel_resolution > 0.0 ? cfg.timer_wheel_resolution
+                                                 : 0.0005) {
+  const std::size_t buckets = pow2_at_least(
+      cfg.sft_eviction_ring_buckets < kMaxRingBuckets
+          ? cfg.sft_eviction_ring_buckets
+          : kMaxRingBuckets);
+  ring_head_.assign(buckets, kNoSlot);
+  ring_tail_.assign(buckets, kNoSlot);
+  ring_occ_.assign(buckets / 64, 0);
+}
 
 TableKind FlowTables::classify(std::uint64_t key, double now) {
   FlowRecord* r = store_.find(key);
@@ -52,6 +78,9 @@ std::uint32_t FlowTables::alloc_arena_slot() {
     assert(grown > old && "arena grown past sft_capacity");
     arena_.resize(grown);
     arena_live_.resize(grown, 0);
+    ring_next_.resize(grown, kNoSlot);
+    ring_prev_.resize(grown, kNoSlot);
+    slot_tick_.resize(grown, 0);
     for (std::size_t i = grown; i > old; --i) {
       arena_free_.push_back(static_cast<std::uint32_t>(i - 1));
     }
@@ -67,20 +96,145 @@ void FlowTables::free_arena_slot(std::uint32_t slot) noexcept {
   arena_free_.push_back(slot);
 }
 
-void FlowTables::evict_oldest_probation() {
-  // Evict the probation closest to (or past) its deadline; it has had the
-  // most chance to be judged already. Linear scan over the contiguous
-  // arena — only reached when the SFT is at capacity.
-  std::uint32_t victim = kNoSlot;
-  for (std::uint32_t i = 0; i < arena_.size(); ++i) {
-    if (arena_live_[i] == 0) continue;
-    if (victim == kNoSlot || arena_[i].deadline < arena_[victim].deadline) {
-      victim = i;
+// --- deadline-bucketed eviction ring ------------------------------------
+
+void FlowTables::ring_insert(std::uint32_t slot, double deadline) {
+  std::uint64_t tick = sim::TimerWheel::quantize(deadline, ring_res_);
+  if (ring_live_ == 0) {
+    ring_cursor_ = tick;
+  } else if (tick < ring_cursor_) {
+    // Earlier than every live probation: treat as due now. The cursor is
+    // a lower bound on live ticks; rewinding it would shrink the span
+    // available to the entries already ringed.
+    tick = ring_cursor_;
+  } else if (tick - ring_cursor_ >= ring_head_.size()) {
+    ring_seek();  // tighten the lower bound before paying for growth
+    if (tick - ring_cursor_ >= ring_head_.size()) {
+      if (tick - ring_cursor_ < kMaxRingBuckets) {
+        ring_grow(static_cast<std::size_t>(tick - ring_cursor_) + 1);
+      } else {
+        tick = ring_cursor_ + ring_head_.size() - 1;  // far-future clamp
+      }
     }
   }
+
+  const std::size_t mask = ring_head_.size() - 1;
+  const std::size_t idx = static_cast<std::size_t>(tick) & mask;
+  slot_tick_[slot] = tick;
+  ring_next_[slot] = kNoSlot;
+  ring_prev_[slot] = ring_tail_[idx];
+  if (ring_tail_[idx] != kNoSlot) {
+    ring_next_[ring_tail_[idx]] = slot;
+  } else {
+    ring_head_[idx] = slot;
+    ring_occ_[idx >> 6] |= 1ull << (idx & 63);
+  }
+  ring_tail_[idx] = slot;
+  ++ring_live_;
+}
+
+void FlowTables::ring_unlink(std::uint32_t slot) noexcept {
+  const std::size_t mask = ring_head_.size() - 1;
+  const std::size_t idx =
+      static_cast<std::size_t>(slot_tick_[slot]) & mask;
+  const std::uint32_t p = ring_prev_[slot];
+  const std::uint32_t n = ring_next_[slot];
+  if (p != kNoSlot) {
+    ring_next_[p] = n;
+  } else {
+    ring_head_[idx] = n;
+  }
+  if (n != kNoSlot) {
+    ring_prev_[n] = p;
+  } else {
+    ring_tail_[idx] = p;
+  }
+  if (ring_head_[idx] == kNoSlot) {
+    ring_occ_[idx >> 6] &= ~(1ull << (idx & 63));
+  }
+  ring_prev_[slot] = ring_next_[slot] = kNoSlot;
+  --ring_live_;
+}
+
+void FlowTables::ring_clear() noexcept {
+  std::fill(ring_head_.begin(), ring_head_.end(), kNoSlot);
+  std::fill(ring_tail_.begin(), ring_tail_.end(), kNoSlot);
+  std::fill(ring_occ_.begin(), ring_occ_.end(), 0);
+  ring_live_ = 0;
+}
+
+void FlowTables::ring_seek() noexcept {
+  assert(ring_live_ > 0);
+  const std::size_t buckets = ring_head_.size();
+  const std::size_t mask = buckets - 1;
+  const std::size_t start = static_cast<std::size_t>(ring_cursor_) & mask;
+  std::size_t advance = 0;
+  while (advance < buckets) {
+    const std::size_t i = (start + advance) & mask;
+    const unsigned bit = i & 63;
+    const std::uint64_t w = ring_occ_[i >> 6] & (~0ull << bit);
+    if (w != 0) {
+      advance += std::countr_zero(w) - bit;
+      if (advance >= buckets) break;  // found bit is before `start`
+      ring_cursor_ += advance;
+      return;
+    }
+    advance += 64 - bit;
+  }
+  assert(false && "ring_seek with live entries but empty bitmap");
+}
+
+void FlowTables::ring_grow(std::size_t min_buckets) {
+  std::size_t buckets = pow2_at_least(ring_head_.size() * 2);
+  while (buckets < min_buckets) buckets *= 2;
+  if (buckets > kMaxRingBuckets) buckets = kMaxRingBuckets;
+  // Walk the OLD bucket lists to relink (slot ticks are kept). Scanning
+  // arena_live_ instead would also pick up a slot that is mid-admission —
+  // allocated but not yet ringed — and link it with a stale tick.
+  std::vector<std::uint32_t> old_head = std::move(ring_head_);
+  ring_head_.assign(buckets, kNoSlot);
+  ring_tail_.assign(buckets, kNoSlot);
+  ring_occ_.assign(buckets / 64, 0);
+  const std::size_t live = ring_live_;
+  ring_live_ = 0;
+  const std::size_t mask = buckets - 1;
+  for (const std::uint32_t head : old_head) {
+    std::uint32_t slot = head;
+    while (slot != kNoSlot) {
+      const std::uint32_t next = ring_next_[slot];  // FIFO order preserved
+      const std::size_t idx =
+          static_cast<std::size_t>(slot_tick_[slot]) & mask;
+      ring_next_[slot] = kNoSlot;
+      ring_prev_[slot] = ring_tail_[idx];
+      if (ring_tail_[idx] != kNoSlot) {
+        ring_next_[ring_tail_[idx]] = slot;
+      } else {
+        ring_head_[idx] = slot;
+        ring_occ_[idx >> 6] |= 1ull << (idx & 63);
+      }
+      ring_tail_[idx] = slot;
+      ++ring_live_;
+      slot = next;
+    }
+  }
+  assert(ring_live_ == live);
+  (void)live;
+}
+
+void FlowTables::evict_oldest_probation() {
+  // Evict the probation closest to (or past) its deadline; it has had the
+  // most chance to be judged already. The ring hands us the first
+  // occupied deadline bucket in O(1) amortized (the cursor only moves
+  // forward), instead of a linear arena scan per admission.
+  assert(ring_live_ > 0);
+  ring_seek();
+  const std::size_t mask = ring_head_.size() - 1;
+  const std::uint32_t victim =
+      ring_head_[static_cast<std::size_t>(ring_cursor_) & mask];
   assert(victim != kNoSlot);
   if (on_evicted_) on_evicted_(arena_[victim]);
   store_.erase(arena_[victim].key);
+  ring_unlink(victim);
   free_arena_slot(victim);
   --sft_count_;
   ++stats_.sft_evictions;
@@ -124,6 +278,7 @@ SftEntry* FlowTables::admit_sft(std::uint64_t key,
   e.entry_time = now;
   e.split_time = now + window_seconds / 2.0;
   e.deadline = now + window_seconds;
+  ring_insert(slot, e.deadline);
 
   auto [record, inserted] = store_.insert(key);
   assert(inserted);
@@ -141,6 +296,7 @@ SftEntry FlowTables::resolve(std::uint64_t key, TableKind destination,
   assert(r != nullptr && r->kind == TableKind::kSuspicious &&
          "resolving a flow that is not under probation");
   SftEntry out = arena_[r->sft_slot];
+  ring_unlink(r->sft_slot);
   free_arena_slot(r->sft_slot);
   --sft_count_;
 
@@ -193,6 +349,7 @@ void FlowTables::flush() {
     arena_live_[i - 1] = 0;
     arena_free_.push_back(static_cast<std::uint32_t>(i - 1));
   }
+  ring_clear();
   sft_count_ = 0;
   nft_count_ = 0;
   pdt_count_ = 0;

@@ -84,6 +84,11 @@ class FlowTables {
 
   SftEntry* find_sft(std::uint64_t key) noexcept;
 
+  /// Software-prefetches the key's home slot in the flat store. Batched
+  /// inspection prefetches a window of keys before classifying them so the
+  /// random-access loads overlap instead of serializing on DRAM latency.
+  void prefetch(std::uint64_t key) const noexcept { store_.prefetch(key); }
+
   /// Admits a flow into the SFT (must not be in any table). Returns the
   /// new entry, or nullptr if the key is already tabled. Evicts the oldest
   /// probation when full. The returned pointer is valid until the next
@@ -152,10 +157,27 @@ class FlowTables {
 
   std::uint32_t alloc_arena_slot();
   void free_arena_slot(std::uint32_t slot) noexcept;
-  /// Evicts the probation closest to (or past) its deadline.
+  /// Evicts the probation closest to (or past) its deadline — O(1)
+  /// amortized via the deadline-bucketed ring below.
   void evict_oldest_probation();
   /// Evicts an arbitrary resident entry of `kind` (NFT/PDT bound guard).
   void evict_any(TableKind kind);
+
+  // --- deadline-bucketed eviction ring ---------------------------------
+  // Live probations hang off a ring of FIFO buckets keyed by their
+  // deadline quantized to the timer wheel's tick (TimerWheel::quantize),
+  // so capacity eviction pops the nearest-deadline probation in O(1)
+  // amortized instead of scanning the arena. Matters under per-packet-
+  // spoofed floods (ablation A5), where every admission at a full SFT
+  // evicts. `ring_cursor_` is a monotone lower bound on the minimum live
+  // tick; all live ticks fit in [cursor, cursor + buckets), the ring
+  // doubling (rare) or the far-future clamp keeping that invariant.
+  void ring_insert(std::uint32_t slot, double deadline);
+  void ring_unlink(std::uint32_t slot) noexcept;
+  void ring_clear() noexcept;
+  /// Advances ring_cursor_ to the minimum occupied tick; ring_live_ > 0.
+  void ring_seek() noexcept;
+  void ring_grow(std::size_t min_buckets);
 
   const MaficConfig& cfg_;
   util::FlatTable<FlowRecord> store_;
@@ -168,6 +190,16 @@ class FlowTables {
   std::size_t evict_cursor_ = 0;  ///< rotating scan hint for evict_any
   EvictionHook on_evicted_;
   Stats stats_;
+
+  double ring_res_;                       ///< tick width (wheel resolution)
+  std::vector<std::uint32_t> ring_head_;  ///< per-bucket FIFO head slot
+  std::vector<std::uint32_t> ring_tail_;
+  std::vector<std::uint64_t> ring_occ_;   ///< bucket occupancy bitmap
+  std::vector<std::uint32_t> ring_next_;  ///< per-arena-slot bucket links
+  std::vector<std::uint32_t> ring_prev_;
+  std::vector<std::uint64_t> slot_tick_;  ///< per-arena-slot deadline tick
+  std::uint64_t ring_cursor_ = 0;
+  std::size_t ring_live_ = 0;
 };
 
 }  // namespace mafic::core

@@ -1,211 +1,30 @@
 #include "core/mafic_filter.hpp"
 
-#include <algorithm>
-
 namespace mafic::core {
 
 MaficFilter::MaficFilter(sim::Simulator* sim, sim::PacketFactory* factory,
                          sim::Node* atr_node, MaficConfig cfg,
                          const AddressPolicy* policy, util::Rng rng)
-    : sim_(sim),
-      atr_node_(atr_node),
-      cfg_(cfg),
-      tables_(cfg_),
-      rtt_(cfg_),
-      prober_(sim, factory, atr_node, cfg_),
-      policy_(policy),
-      rng_(rng) {
-  // Probations leaving the SFT without a decision (capacity eviction or
-  // flush) must not leave their probe/decision timers armed: the stale
-  // callbacks could fire into a *new* probation of the same key.
-  tables_.set_eviction_hook(
-      [this](const SftEntry& e) { cancel_entry_timers(e); });
-}
+    : atr_node_(atr_node),
+      clock_(sim),
+      timers_(sim),
+      prober_(sim, factory, atr_node, cfg),
+      engine_(cfg, &clock_, &timers_, &prober_, policy, rng) {}
 
 sim::NodeId MaficFilter::atr_node_id() const noexcept {
   return atr_node_->id();
 }
 
-void MaficFilter::activate(const VictimSet& victims) {
-  for (const auto v : victims) victims_.insert(v);
-  active_ = true;
-  refresh();
-}
-
-void MaficFilter::refresh() {
-  if (!active_ || cfg_.refresh_timeout <= 0.0) return;
-  expires_at_ = sim_->now() + cfg_.refresh_timeout;
-  // Keep-alive on the wheel: each refresh is an O(1) reschedule instead of
-  // abandoning a lazily-cancelled heap event.
-  if (expiry_timer_ != sim::kInvalidTimer &&
-      sim_->reschedule_timer(expiry_timer_, expires_at_)) {
-    return;
-  }
-  expiry_timer_ = sim_->schedule_timer_at(expires_at_, [this] {
-    expiry_timer_ = sim::kInvalidTimer;
-    if (active_) deactivate();  // "Pushback Continue? -> No"
-  });
-}
-
-void MaficFilter::deactivate() {
-  active_ = false;
-  victims_.clear();
-  tables_.flush();  // "End dropping & Flush all tables"
-  rtt_.clear();
-  if (expiry_timer_ != sim::kInvalidTimer) {
-    sim_->cancel_timer(expiry_timer_);
-    expiry_timer_ = sim::kInvalidTimer;
-  }
-}
-
 sim::InlineFilter::Decision MaficFilter::inspect(sim::Packet& p) {
-  if (!active_) return Decision::forward();
-  if (!victims_.contains(p.label.dst)) return Decision::forward();
-  if (p.proto == sim::Protocol::kControl) return Decision::forward();
-
-  ++stats_.offered;
-  if (on_offered_) on_offered_(p);
-
-  const std::uint64_t key = sim::hash_label(p.label);
-  const double now = sim_->now();
-
-  // Router-side RTT refinement from the timestamp echo.
-  if (p.tsecr > 0.0) rtt_.observe(key, now - p.tsecr);
-
-  switch (tables_.classify(key, now)) {
-    case TableKind::kPermanentDrop:
-      ++stats_.dropped_pdt;
+  switch (engine_.inspect(p)) {
+    case EngineVerdict::kForward:
+      return Decision::forward();
+    case EngineVerdict::kDropProbation:
+      return Decision::drop(sim::DropReason::kDefenseProbe);
+    case EngineVerdict::kDropPdt:
       return Decision::drop(sim::DropReason::kDefensePdt);
-
-    case TableKind::kNice:
-      ++stats_.forwarded;
-      return Decision::forward();
-
-    case TableKind::kSuspicious: {
-      SftEntry* e = tables_.find_sft(key);
-      if (now >= e->deadline) {
-        // Timer expired and the decision event has not fired yet (same
-        // timestamp): decide now, then treat this packet under the new
-        // table.
-        const TableKind dest = decide(key);
-        if (dest == TableKind::kPermanentDrop) {
-          ++stats_.dropped_pdt;
-          return Decision::drop(sim::DropReason::kDefensePdt);
-        }
-        ++stats_.forwarded;
-        return Decision::forward();
-      }
-      if (now < e->split_time) {
-        ++e->baseline_count;
-      } else {
-        ++e->probe_count;
-      }
-      const bool drop_it =
-          cfg_.drop_all_in_sft || rng_.bernoulli(cfg_.drop_probability);
-      if (drop_it) {
-        ++stats_.dropped_probation;
-        return Decision::drop(sim::DropReason::kDefenseProbe);
-      }
-      ++stats_.forwarded;
-      return Decision::forward();
-    }
-
-    case TableKind::kNone:
-      break;
   }
-
-  // New flow. Screen clearly-bogus sources first (paper section III-A).
-  if (cfg_.address_screening && policy_ != nullptr &&
-      !policy_->acceptable(p.label.src)) {
-    tables_.add_pdt_direct(key);
-    ++stats_.screened_sources;
-    ++stats_.dropped_pdt;
-    return Decision::drop(sim::DropReason::kDefensePdt);
-  }
-
-  // "Drop packet with probability Pd"; the drop is what opens probation.
-  if (rng_.bernoulli(cfg_.drop_probability)) {
-    admit(p, key);
-    ++stats_.dropped_probation;
-    return Decision::drop(sim::DropReason::kDefenseProbe);
-  }
-  ++stats_.forwarded;
   return Decision::forward();
-}
-
-void MaficFilter::admit(const sim::Packet& p, std::uint64_t key) {
-  const double window = cfg_.probe_window_rtt_multiple * rtt_.rtt(key);
-  SftEntry* e = tables_.admit_sft(key, p.label, sim_->now(), window);
-  if (e == nullptr) return;  // raced into another table (should not happen)
-  // The admitting packet itself is NOT counted into the baseline half:
-  // it is present by construction (it opened the probation), so counting
-  // it would bias the baseline up by one and let arrival jitter fake a
-  // "decrease" on slow flows.
-  if (cfg_.probe_enabled) schedule_probe(*e);
-  schedule_decision(*e);
-}
-
-void MaficFilter::schedule_probe(SftEntry& e) {
-  const std::uint64_t key = e.key;
-  e.probe_timer = sim_->schedule_timer_at(e.split_time, [this, key] {
-    if (!active_) return;
-    SftEntry* entry = tables_.find_sft(key);
-    if (entry == nullptr || entry->probe_sent) return;
-    entry->probe_sent = true;
-    entry->probe_timer = sim::kInvalidTimer;
-    ++stats_.probes_issued;
-    prober_.probe(entry->label);
-  });
-}
-
-void MaficFilter::schedule_decision(SftEntry& e) {
-  const std::uint64_t key = e.key;
-  // Epsilon after the deadline so that a packet arriving exactly at the
-  // deadline is handled by the lazy path first (the wheel then rounds up
-  // to its next tick, which the lazy path also covers).
-  e.decision_timer =
-      sim_->schedule_timer_at(e.deadline + 1e-9, [this, key] {
-        if (!active_) return;
-        if (tables_.find_sft(key) != nullptr) decide(key);
-      });
-}
-
-void MaficFilter::cancel_entry_timers(const SftEntry& e) {
-  if (e.probe_timer != sim::kInvalidTimer) sim_->cancel_timer(e.probe_timer);
-  if (e.decision_timer != sim::kInvalidTimer) {
-    sim_->cancel_timer(e.decision_timer);
-  }
-}
-
-TableKind MaficFilter::decide(std::uint64_t key) {
-  SftEntry* e = tables_.find_sft(key);
-  if (e == nullptr) return TableKind::kNone;
-
-  cancel_entry_timers(*e);
-
-  bool decreased;
-  if (e->baseline_count < cfg_.min_baseline_packets) {
-    // Too thin to judge: benefit of the doubt.
-    decreased = true;
-  } else {
-    const bool relative_drop =
-        static_cast<double>(e->probe_count) <
-        cfg_.decrease_ratio * static_cast<double>(e->baseline_count);
-    const bool absolute_drop =
-        e->probe_count + cfg_.min_absolute_decrease <= e->baseline_count;
-    decreased = relative_drop && absolute_drop;
-  }
-
-  const TableKind dest =
-      decreased ? TableKind::kNice : TableKind::kPermanentDrop;
-  const SftEntry resolved = tables_.resolve(key, dest, sim_->now());
-  if (dest == TableKind::kNice) {
-    ++stats_.decided_nice;
-  } else {
-    ++stats_.decided_malicious;
-  }
-  if (on_classified_) on_classified_(resolved, dest);
-  return dest;
 }
 
 }  // namespace mafic::core

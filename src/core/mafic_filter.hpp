@@ -1,33 +1,28 @@
 #pragma once
 
 /// \file mafic_filter.hpp
-/// The MAFIC datapath element — the paper's contribution. One filter sits
-/// at the head of an ingress SimplexLink of an Attack-Transit Router and
-/// implements the Fig. 2 control flow:
+/// The MAFIC datapath element inside the discrete-event simulator: a thin
+/// adapter that sits at the head of an ingress SimplexLink of an
+/// Attack-Transit Router and feeds packets to a simulator-agnostic
+/// core::FilterEngine (filter_engine.hpp), which owns the paper's Fig. 2
+/// control flow.
 ///
-///   packet destined to a protected victim arrives
-///     -> PDT match?  drop
-///     -> NFT match?  forward
-///     -> SFT match?  update the arrival counts; on timer expiry decide:
-///                    rate decreased => NFT, else => PDT;
-///                    while under probation drop with probability Pd
-///     -> new flow:   illegal/unreachable source => PDT, drop;
-///                    otherwise drop with probability Pd and, when the
-///                    drop fires, admit to SFT, schedule the duplicate-ACK
-///                    probe and the 2 x RTT response timer
-///
-/// The probe is sent at the *midpoint* of the response window: the first
-/// half measures the flow's baseline arrival rate, the second half its
-/// post-probe rate, and the decision compares the two halves.
-
-#include <functional>
+/// The adapter contributes exactly the simulator bindings:
+///   * Clock        -> Simulator::now()
+///   * TimerService -> Simulator::schedule_timer_at / cancel / reschedule
+///                     (the shared hierarchical wheel)
+///   * ProbeSink    -> Prober, which crafts duplicate-ACK packets and
+///                     sends them out of the ATR node
+/// plus the InlineFilter verdict mapping and the DefenseActuator control
+/// surface the pushback coordinator drives. Because the engine makes every
+/// decision (and every RNG draw) itself, the fixed-seed classification
+/// goldens pin the engine through this adapter.
 
 #include "core/actuator.hpp"
 #include "core/address_policy.hpp"
 #include "core/config.hpp"
-#include "core/flow_tables.hpp"
+#include "core/filter_engine.hpp"
 #include "core/prober.hpp"
-#include "core/rtt_estimator.hpp"
 #include "sim/connector.hpp"
 #include "sim/node.hpp"
 #include "sim/simulator.hpp"
@@ -37,76 +32,78 @@ namespace mafic::core {
 
 class MaficFilter final : public sim::InlineFilter, public DefenseActuator {
  public:
-  struct Stats {
-    std::uint64_t offered = 0;        ///< victim-bound packets inspected
-    std::uint64_t forwarded = 0;
-    std::uint64_t dropped_probation = 0;  ///< Pd drops (SFT / admission)
-    std::uint64_t dropped_pdt = 0;
-    std::uint64_t screened_sources = 0;  ///< illegal/unreachable -> PDT
-    std::uint64_t probes_issued = 0;
-    std::uint64_t decided_nice = 0;
-    std::uint64_t decided_malicious = 0;
-  };
-
-  /// Invoked when a probation resolves; receives the resolved entry and
-  /// its destination table.
-  using ClassificationCallback =
-      std::function<void(const SftEntry&, TableKind)>;
-  /// Invoked for every victim-bound packet inspected while active.
-  using OfferedCallback = std::function<void(const sim::Packet&)>;
+  using Stats = FilterEngine::Stats;
+  using ClassificationCallback = FilterEngine::ClassificationCallback;
+  using OfferedCallback = FilterEngine::OfferedCallback;
 
   MaficFilter(sim::Simulator* sim, sim::PacketFactory* factory,
               sim::Node* atr_node, MaficConfig cfg,
               const AddressPolicy* policy, util::Rng rng);
 
   // --- DefenseActuator ---
-  void activate(const VictimSet& victims) override;
-  void refresh() override;
-  void deactivate() override;
-  bool active() const noexcept override { return active_; }
+  void activate(const VictimSet& victims) override {
+    engine_.activate(victims);
+  }
+  void refresh() override { engine_.refresh(); }
+  void deactivate() override { engine_.deactivate(); }
+  bool active() const noexcept override { return engine_.active(); }
 
   void set_classification_callback(ClassificationCallback cb) {
-    on_classified_ = std::move(cb);
+    engine_.set_classification_callback(std::move(cb));
   }
   void set_offered_callback(OfferedCallback cb) {
-    on_offered_ = std::move(cb);
+    engine_.set_offered_callback(std::move(cb));
   }
 
-  const MaficConfig& config() const noexcept { return cfg_; }
-  const FlowTables& tables() const noexcept { return tables_; }
-  const RttEstimator& rtt_estimator() const noexcept { return rtt_; }
+  /// The underlying decision engine (shared with standalone/sharded
+  /// runtimes; see filter_engine.hpp).
+  FilterEngine& engine() noexcept { return engine_; }
+  const FilterEngine& engine() const noexcept { return engine_; }
+
+  const MaficConfig& config() const noexcept { return engine_.config(); }
+  const FlowTables& tables() const noexcept { return engine_.tables(); }
+  const RttEstimator& rtt_estimator() const noexcept {
+    return engine_.rtt_estimator();
+  }
   const Prober& prober() const noexcept { return prober_; }
-  const Stats& stats() const noexcept { return stats_; }
+  const Stats& stats() const noexcept { return engine_.stats(); }
   sim::NodeId atr_node_id() const noexcept;
 
  protected:
   Decision inspect(sim::Packet& p) override;
 
  private:
-  /// Resolves a probation according to the two half-window counts.
-  TableKind decide(std::uint64_t key);
-  void admit(const sim::Packet& p, std::uint64_t key);
-  void schedule_probe(SftEntry& e);
-  void schedule_decision(SftEntry& e);
-  void cancel_entry_timers(const SftEntry& e);
+  /// Clock seam over the simulation clock.
+  class SimClock final : public Clock {
+   public:
+    explicit SimClock(sim::Simulator* sim) noexcept : sim_(sim) {}
+    double now() const noexcept override { return sim_->now(); }
 
-  sim::Simulator* sim_;
+   private:
+    sim::Simulator* sim_;
+  };
+
+  /// TimerService seam over the simulator's hierarchical timer wheel.
+  class SimTimerService final : public TimerService {
+   public:
+    explicit SimTimerService(sim::Simulator* sim) noexcept : sim_(sim) {}
+    sim::TimerId schedule_at(double t, TimerFn fn) override {
+      return sim_->schedule_timer_at(t, std::move(fn));
+    }
+    bool cancel(sim::TimerId id) override { return sim_->cancel_timer(id); }
+    bool reschedule(sim::TimerId id, double t) override {
+      return sim_->reschedule_timer(id, t);
+    }
+
+   private:
+    sim::Simulator* sim_;
+  };
+
   sim::Node* atr_node_;
-  MaficConfig cfg_;
-  FlowTables tables_;
-  RttEstimator rtt_;
+  SimClock clock_;
+  SimTimerService timers_;
   Prober prober_;
-  const AddressPolicy* policy_;
-  util::Rng rng_;
-
-  bool active_ = false;
-  VictimSet victims_;
-  double expires_at_ = 0.0;
-  sim::TimerId expiry_timer_ = sim::kInvalidTimer;
-
-  ClassificationCallback on_classified_;
-  OfferedCallback on_offered_;
-  Stats stats_;
+  FilterEngine engine_;
 };
 
 }  // namespace mafic::core

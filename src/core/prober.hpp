@@ -8,26 +8,34 @@
 /// ACKs (ack_no = 0 never advances snd_una), fast-retransmits and halves
 /// its window; a zombie, or an innocent third party whose address was
 /// spoofed, does not change the flow's sending rate.
+///
+/// Prober is the simulator-side ProbeSink implementation (engine_seams.hpp):
+/// the FilterEngine asks for a probe through the seam, and this class puts
+/// real packets on the ATR's wire. Holds its config by value so it has no
+/// lifetime tie to the engine that drives it.
 
 #include <cstdint>
 
 #include "core/config.hpp"
+#include "core/engine_seams.hpp"
 #include "sim/node.hpp"
 #include "sim/packet.hpp"
 #include "sim/simulator.hpp"
 
 namespace mafic::core {
 
-class Prober {
+class Prober final : public ProbeSink {
  public:
   Prober(sim::Simulator* sim, sim::PacketFactory* factory, sim::Node* atr,
          const MaficConfig& cfg)
       : sim_(sim), factory_(factory), atr_(atr), cfg_(cfg) {}
 
   /// Emits cfg.probe_dup_acks duplicate ACKs toward flow.src, spaced
-  /// cfg.probe_spacing_s apart. Returns the event id of the last emission
-  /// (kInvalidEvent when emitted synchronously).
+  /// cfg.probe_spacing_s apart.
   void probe(const sim::FlowLabel& flow);
+
+  // --- ProbeSink ---
+  void send_probe(const sim::FlowLabel& flow) override { probe(flow); }
 
   std::uint64_t probes_issued() const noexcept { return probes_; }
   std::uint64_t probe_packets_sent() const noexcept { return packets_; }
@@ -38,7 +46,7 @@ class Prober {
   sim::Simulator* sim_;
   sim::PacketFactory* factory_;
   sim::Node* atr_;
-  const MaficConfig& cfg_;
+  MaficConfig cfg_;
   std::uint64_t probes_ = 0;
   std::uint64_t packets_ = 0;
 };

@@ -1,0 +1,71 @@
+#include "core/sharded_filter.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace mafic::core {
+
+ShardedFilter::ShardedFilter(std::size_t shard_count, const MaficConfig& cfg,
+                             const AddressPolicy* policy,
+                             std::uint64_t seed) {
+  if (shard_count < 1) shard_count = 1;
+  assert(std::has_single_bit(shard_count) &&
+         "shard count must be a power of two");
+  shard_bits_ = static_cast<unsigned>(std::countr_zero(shard_count));
+  shift_ = 64 - shard_bits_;
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<EngineRuntime>(
+        cfg, policy, util::Rng(shard_seed(seed, i))));
+  }
+}
+
+void ShardedFilter::activate(const VictimSet& victims) {
+  for (auto& s : shards_) s->engine().activate(victims);
+}
+
+void ShardedFilter::refresh() {
+  for (auto& s : shards_) s->engine().refresh();
+}
+
+void ShardedFilter::deactivate() {
+  for (auto& s : shards_) s->engine().deactivate();
+}
+
+bool ShardedFilter::active() const noexcept {
+  return !shards_.empty() && shards_.front()->engine().active();
+}
+
+EngineVerdict ShardedFilter::inspect(const sim::Packet& p) {
+  // Hash once: the routing key doubles as the table key.
+  const std::uint64_t key = sim::hash_label(p.label);
+  return shards_[shard_of(key)]->engine().inspect_hashed(p, key);
+}
+
+void ShardedFilter::advance_until(double t) {
+  for (auto& s : shards_) s->advance_until(t);
+}
+
+FilterEngine::Stats ShardedFilter::aggregate_stats() const {
+  FilterEngine::Stats sum;
+  for (const auto& s : shards_) {
+    const FilterEngine::Stats& st = s->engine().stats();
+    sum.offered += st.offered;
+    sum.forwarded += st.forwarded;
+    sum.dropped_probation += st.dropped_probation;
+    sum.dropped_pdt += st.dropped_pdt;
+    sum.screened_sources += st.screened_sources;
+    sum.probes_issued += st.probes_issued;
+    sum.decided_nice += st.decided_nice;
+    sum.decided_malicious += st.decided_malicious;
+  }
+  return sum;
+}
+
+std::size_t ShardedFilter::resident() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->engine().tables().resident();
+  return n;
+}
+
+}  // namespace mafic::core

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file sharded_filter.hpp
+/// N MAFIC engines partitioned by flow-key hash — the multi-core ATR.
+///
+/// Shard-partition invariant: flow key `k` lives on shard
+/// `shard_of(k) = top log2(N) bits of k`, and ONLY that shard ever touches
+/// `k`'s table entry, probation timers or RNG. Each shard is a complete
+/// EngineRuntime (flat store + arena, timer wheel, clock, RNG, probe
+/// counter) with zero shared mutable state, so a driver may run one thread
+/// per shard with no locks: equivalence with a single engine is structural,
+/// not synchronized (test_core_sharded_filter pins it; the TSan CI job
+/// watches the threaded bench driver).
+///
+/// Per-shard RNG streams derive deterministically from one base seed
+/// (shard_seed), so a single-shard engine fed shard i's substream with
+/// shard_seed(seed, i) reproduces shard i's decisions bit-for-bit.
+///
+/// The ShardedFilter itself spawns no threads: it is the passive state +
+/// routing layer. Drivers (bench_flow_store_scale's multi-threaded
+/// harness, or a DPDK-style run-to-completion loop) own the threads and
+/// feed each shard its pre-partitioned bursts via engine(i).inspect_batch.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/standalone_runtime.hpp"
+#include "util/hash.hpp"
+
+namespace mafic::core {
+
+class ShardedFilter {
+ public:
+  /// `shard_count` must be a power of two (the partition is a bit slice).
+  /// Per-shard capacities come from `cfg` verbatim: N shards hold N times
+  /// the flows of one engine, mirroring per-core table memory.
+  ShardedFilter(std::size_t shard_count, const MaficConfig& cfg,
+                const AddressPolicy* policy, std::uint64_t seed);
+
+  /// Deterministic per-shard RNG seed derivation; exposed so equivalence
+  /// tests can rebuild shard i's stream in a standalone engine.
+  static std::uint64_t shard_seed(std::uint64_t base_seed,
+                                  std::size_t shard) noexcept {
+    return util::mix64(base_seed ^ (0x9e3779b97f4a7c15ULL * (shard + 1)));
+  }
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// Home shard of a flow key: the top log2(N) bits. hash_label output is
+  /// well mixed, and the flat store indexes with an independent Fibonacci
+  /// multiply, so the slice costs no lookup clustering.
+  std::size_t shard_of(std::uint64_t key) const noexcept {
+    return shard_bits_ == 0 ? 0 : static_cast<std::size_t>(key >> shift_);
+  }
+  std::size_t shard_for(const sim::Packet& p) const noexcept {
+    return shard_of(sim::hash_label(p.label));
+  }
+
+  EngineRuntime& shard(std::size_t i) noexcept { return *shards_[i]; }
+  const EngineRuntime& shard(std::size_t i) const noexcept {
+    return *shards_[i];
+  }
+  FilterEngine& engine(std::size_t i) noexcept {
+    return shards_[i]->engine();
+  }
+
+  // --- control plane (single-threaded, between datapath bursts) --------
+  void activate(const VictimSet& victims);
+  void refresh();
+  void deactivate();
+  bool active() const noexcept;
+
+  /// Routes one packet to its home shard (convenience / equivalence
+  /// tests; the fast path is per-shard inspect_batch on partitioned
+  /// bursts).
+  EngineVerdict inspect(const sim::Packet& p);
+
+  /// Advances every shard's clock, firing due probation timers.
+  void advance_until(double t);
+
+  /// Sums engine stats across shards.
+  FilterEngine::Stats aggregate_stats() const;
+  /// Sums resident flows (all tables) across shards.
+  std::size_t resident() const;
+
+ private:
+  unsigned shard_bits_ = 0;
+  unsigned shift_ = 64;
+  std::vector<std::unique_ptr<EngineRuntime>> shards_;
+};
+
+}  // namespace mafic::core

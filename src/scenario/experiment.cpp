@@ -84,6 +84,17 @@ void Experiment::build_topology() {
       [this](const sim::Packet& p) {
         ledger_.on_victim_delivered(p, sim_.now());
       }));
+
+  // Protected destinations: the domain's victim plus any extra victims,
+  // each an ordinary host behind a random ingress router. Flows target
+  // them round-robin; every MAFIC filter defends the whole set.
+  victim_addrs_.push_back(domain_->victim_addr());
+  victim_hosts_.push_back(domain_->victim_host());
+  for (std::size_t i = 0; i < cfg_.extra_victims; ++i) {
+    auto& access = domain_->attach_host();
+    victim_addrs_.push_back(net_->node(access.host)->addr());
+    victim_hosts_.push_back(access.host);
+  }
 }
 
 void Experiment::build_sketches() {
@@ -111,9 +122,15 @@ void Experiment::build_flows() {
     legit_count_ = vt - 1;
   }
 
-  const util::Addr victim = domain_->victim_addr();
-  sim::Node* victim_node = net_->node(domain_->victim_host());
+  // Flows target the protected destinations round-robin (one victim:
+  // identical to targeting it directly).
   sim::FlowId next_flow = 1;
+  const auto target_addr = [this](sim::FlowId flow) {
+    return victim_addrs_[(flow - 1) % victim_addrs_.size()];
+  };
+  const auto target_node = [this](sim::FlowId flow) {
+    return net_->node(victim_hosts_[(flow - 1) % victim_hosts_.size()]);
+  };
 
   // --- legitimate flows ---------------------------------------------------
   const auto n_udp = static_cast<std::size_t>(
@@ -127,6 +144,8 @@ void Experiment::build_flows() {
     const auto vport =
         static_cast<std::uint16_t>(kVictimPortBase + next_flow);
     const sim::FlowId flow = next_flow++;
+    const util::Addr victim = target_addr(flow);
+    sim::Node* victim_node = target_node(flow);
 
     const bool is_udp = i < n_udp;
     if (is_udp) {
@@ -194,6 +213,7 @@ void Experiment::build_flows() {
     const auto vport =
         static_cast<std::uint16_t>(kVictimPortBase + next_flow);
     const sim::FlowId flow = next_flow++;
+    const util::Addr victim = target_addr(flow);
 
     attack::Flooder::Config fc;
     fc.framing = cfg_.attack_framing;
@@ -300,7 +320,7 @@ void Experiment::arm_trigger() {
   sim_.schedule_at(cfg_.scripted_trigger_time, [this] {
     if (ledger_.triggered()) return;
     ledger_.set_trigger_time(sim_.now());
-    core::VictimSet victims{domain_->victim_addr()};
+    core::VictimSet victims(victim_addrs_.begin(), victim_addrs_.end());
     const bool all = cfg_.atr_scope == AtrScope::kAllIngress;
     std::unordered_set<sim::NodeId> scope;
     if (!all) {
@@ -348,6 +368,22 @@ ExperimentResult Experiment::snapshot_result() const {
     r.moved_to_pdt += ts.moved_to_pdt;
     r.screened_sources += f->stats().screened_sources;
     r.probes_issued += f->stats().probes_issued;
+  }
+
+  // Per-victim decision breakdown (engine-side accounting keyed by the
+  // flow label's destination), aggregated across every filter.
+  for (const util::Addr v : victim_addrs_) {
+    VictimBreakdown b;
+    b.victim = v;
+    for (const auto* f : mafic_filters_) {
+      const auto& per = f->engine().victim_stats();
+      const auto it = per.find(v);
+      if (it == per.end()) continue;
+      b.decided_nice += it->second.decided_nice;
+      b.decided_malicious += it->second.decided_malicious;
+      b.screened_sources += it->second.screened_sources;
+    }
+    r.per_victim.push_back(b);
   }
 
   // ATR diagnostics: identified (detector mode) or assumed (scripted).

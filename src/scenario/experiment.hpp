@@ -96,6 +96,20 @@ struct ExperimentConfig {
   double legit_udp_fraction = 0.0;  ///< share of legit flows that are CBR
   double legit_udp_rate_bps = 200e3;
 
+  /// Additional concurrent victims beyond the domain's primary victim.
+  /// Each extra victim is a host attached behind a random ingress router;
+  /// legitimate flows and zombies target the victims round-robin, the
+  /// scripted trigger activates every ATR with the full victim set, and
+  /// the per-victim decision breakdown lands in
+  /// ExperimentResult::per_victim. Flow keys hash the destination, so one
+  /// ATR's tables partition naturally per victim. Caveats: kScripted
+  /// trigger only (the sketch detector watches the primary victim's
+  /// access link), and the victim-bandwidth instrumentation — beta and
+  /// victim_offered_bytes — likewise covers the primary victim's link
+  /// only; extra-victim outcomes are reported via per_victim and alpha
+  /// (defense drops are counted at the ATRs, victim-agnostic).
+  std::size_t extra_victims = 0;
+
   // --- topology ------------------------------------------------------------
   topology::DomainConfig domain = default_domain();
 
@@ -128,9 +142,18 @@ struct AtrDiagnostics {
   double recall = 0.0;
 };
 
+/// Per-victim defense outcome (aggregated over every MAFIC filter).
+struct VictimBreakdown {
+  util::Addr victim = util::kInvalidAddr;
+  std::uint64_t decided_nice = 0;
+  std::uint64_t decided_malicious = 0;
+  std::uint64_t screened_sources = 0;
+};
+
 struct ExperimentResult {
   metrics::Metrics metrics;
   AtrDiagnostics atr;
+  std::vector<VictimBreakdown> per_victim;  ///< primary first, then extras
   util::BinnedSeries victim_offered_bytes;  ///< Fig. 4(b) raw series
   std::size_t legit_flows = 0;
   std::size_t attack_flows = 0;
@@ -187,6 +210,10 @@ class Experiment {
     return monitor_.get();
   }
   const ExperimentConfig& config() const noexcept { return cfg_; }
+  /// All protected destinations (primary victim + extras).
+  const std::vector<util::Addr>& victim_addrs() const noexcept {
+    return victim_addrs_;
+  }
 
  private:
   void build_topology();
@@ -226,6 +253,11 @@ class Experiment {
 
   // Router each zombie sits behind (ground truth for diagnostics).
   std::vector<sim::NodeId> zombie_routers_;
+
+  // Protected destinations: primary victim + cfg.extra_victims hosts,
+  // parallel arrays of address and host node.
+  std::vector<util::Addr> victim_addrs_;
+  std::vector<sim::NodeId> victim_hosts_;
 
   std::size_t legit_count_ = 0;
   std::size_t attack_count_ = 0;

@@ -20,15 +20,19 @@ TimerWheel::TimerWheel(SimTime resolution)
   std::memset(occupied_, 0, sizeof(occupied_));
 }
 
-std::uint64_t TimerWheel::tick_for(SimTime t) const noexcept {
+std::uint64_t TimerWheel::quantize(SimTime t, SimTime resolution) noexcept {
   if (t <= 0.0) return 0;
-  const double q = t / resolution_;
+  const double q = t / resolution;
   auto tick = static_cast<std::uint64_t>(q);
   // Ceiling with a relative tolerance: a time within float fuzz of a tick
   // boundary belongs to that tick, not the next one.
   const double tol = 1e-9 * (q < 1.0 ? 1.0 : q);
   if (static_cast<double>(tick) + tol < q) ++tick;
   return tick;
+}
+
+std::uint64_t TimerWheel::tick_for(SimTime t) const noexcept {
+  return quantize(t, resolution_);
 }
 
 std::uint32_t TimerWheel::alloc_node() {

@@ -49,6 +49,12 @@ class TimerWheel {
 
   SimTime resolution() const noexcept { return resolution_; }
 
+  /// First tick boundary at or after `t` for a wheel of the given
+  /// resolution (with float-fuzz tolerance). Shared with consumers that
+  /// bucket by the same quantization, e.g. the flow store's
+  /// deadline-bucketed eviction ring.
+  static std::uint64_t quantize(SimTime t, SimTime resolution) noexcept;
+
   /// Schedules `fn` at the first tick boundary at or after absolute time
   /// `t` (clamped to the wheel's current position for past times).
   TimerId schedule_at(SimTime t, TimerFn fn);

@@ -67,6 +67,14 @@ class FlatTable {
     return find(key) != nullptr;
   }
 
+  /// Issues a software prefetch for the key's home slot. Batched lookups
+  /// prefetch a window of keys ahead so the dependent loads of find()
+  /// overlap instead of serializing on DRAM latency; with robin-hood
+  /// probing nearly every lookup resolves within the home cache line.
+  void prefetch(std::uint64_t key) const noexcept {
+    __builtin_prefetch(&slots_[home(key)], /*rw=*/0, /*locality=*/1);
+  }
+
   /// Inserts `key` with a default-constructed value. Returns the value
   /// slot and whether insertion happened (false: key already present, the
   /// existing value is returned). The caller must keep size() within

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Bench-regression gate over the BENCH_flow_store.json trajectory.
+
+The perf benches append one record per (bench, series, flows-tier) per run
+to a single JSON array; the repo commits the trajectory so every CI run
+can compare its fresh measurement against the previous one. This script
+fails (exit 1) when the newest entry of any tier is more than --threshold
+slower (ns/packet) than the entry before it.
+
+Usage:
+    tools/check_bench_regression.py BENCH_flow_store.json [--threshold 0.10]
+
+A tier seen for the first time passes trivially (there is nothing to
+compare against); a shrinking ns/packet is reported as an improvement.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trajectory", help="path to BENCH_flow_store.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="max tolerated fractional ns/packet regression (default 0.10)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trajectory, "r", encoding="utf-8") as f:
+            records = json.load(f)
+    except FileNotFoundError:
+        print(f"no trajectory at {args.trajectory}; nothing to gate")
+        return 0
+    except json.JSONDecodeError as e:
+        print(f"FAIL: {args.trajectory} is not valid JSON: {e}")
+        return 1
+
+    tiers = defaultdict(list)  # (bench, name, flows) -> [ns_per_packet...]
+    for r in records:
+        key = (r.get("bench", "?"), r.get("name", "?"), r.get("flows", 0))
+        tiers[key].append(float(r.get("ns_per_packet", 0.0)))
+
+    failures = []
+    for (bench, name, flows), series in sorted(tiers.items()):
+        if len(series) < 2:
+            print(f"  new    {bench}/{name}@{flows:.0f}: "
+                  f"{series[-1]:.2f} ns/pkt (no previous entry)")
+            continue
+        prev, last = series[-2], series[-1]
+        if prev <= 0.0:
+            continue
+        delta = (last - prev) / prev
+        verdict = "ok"
+        if delta > args.threshold:
+            verdict = "REGRESSION"
+            failures.append((bench, name, flows, prev, last, delta))
+        elif delta < 0:
+            verdict = "improved"
+        print(f"  {verdict:<10} {bench}/{name}@{flows:.0f}: "
+              f"{prev:.2f} -> {last:.2f} ns/pkt ({delta:+.1%})")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} tier(s) regressed more than "
+              f"{args.threshold:.0%}:")
+        for bench, name, flows, prev, last, delta in failures:
+            print(f"  {bench}/{name}@{flows:.0f}: "
+                  f"{prev:.2f} -> {last:.2f} ns/pkt ({delta:+.1%})")
+        return 1
+    print("\nbench trajectory within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
