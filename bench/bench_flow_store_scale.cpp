@@ -48,6 +48,7 @@
 #include "core/flow_tables.hpp"
 #include "core/mafic_filter.hpp"
 #include "core/sharded_filter.hpp"
+#include "scenario/experiment.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "util/hash.hpp"
@@ -438,6 +439,45 @@ double run_admission_flood(std::uint64_t admissions,
   return elapsed / static_cast<double>(admissions);
 }
 
+/// End-to-end sharded-simulation gate: a fixed-seed figure-bench-shaped
+/// run with num_shards = 4 and burst links must make classification
+/// decisions identical to the scalar (num_shards = 1) path. Returns true
+/// when the decisions match.
+bool check_sim_sharded_equivalence() {
+  scenario::ExperimentConfig base;
+  base.seed = 42;
+  base.total_flows = 32;
+  base.router_count = 12;
+  base.end_time = 6.0;
+  base.link_burst_size = 8;
+
+  const auto run = [&](std::size_t shards) {
+    scenario::ExperimentConfig cfg = base;
+    cfg.num_shards = shards;
+    scenario::Experiment exp(cfg);
+    return exp.run();
+  };
+  const scenario::ExperimentResult scalar = run(1);
+  const scenario::ExperimentResult sharded = run(4);
+
+  const bool ok =
+      scalar.sft_admissions == sharded.sft_admissions &&
+      scalar.moved_to_nft == sharded.moved_to_nft &&
+      scalar.moved_to_pdt == sharded.moved_to_pdt &&
+      scalar.screened_sources == sharded.screened_sources &&
+      scalar.probes_issued == sharded.probes_issued &&
+      scalar.events_processed == sharded.events_processed &&
+      scalar.sft_admissions > 0;
+  std::printf("\nsharded sim equivalence (burst=8): scalar %llu->NFT "
+              "%llu->PDT vs 4-shard %llu->NFT %llu->PDT: %s\n",
+              static_cast<unsigned long long>(scalar.moved_to_nft),
+              static_cast<unsigned long long>(scalar.moved_to_pdt),
+              static_cast<unsigned long long>(sharded.moved_to_nft),
+              static_cast<unsigned long long>(sharded.moved_to_pdt),
+              ok ? "identical" : "DIVERGED");
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -578,6 +618,13 @@ int main(int argc, char** argv) {
                      flood_ns, bench::read_vm_rss_kb()});
   if (flood_allocs != 0) {
     std::fprintf(stderr, "FAIL: admission flood allocated\n");
+    ok = false;
+  }
+
+  // ---- sharded datapath inside the simulator ---------------------------
+  if (!check_sim_sharded_equivalence()) {
+    std::fprintf(stderr,
+                 "FAIL: 4-shard sim decisions diverged from scalar\n");
     ok = false;
   }
 

@@ -31,8 +31,17 @@ namespace mafic::core {
 /// so arming a probation timer performs no heap allocation.
 using TimerFn = util::UniqueFunction<void()>;
 
-/// Read-only time source. Implementations must be monotonic within one
-/// engine's lifetime; the engine never compares times across engines.
+/// Read-only time source.
+///
+/// Contract:
+///  * pre:  none — now() must be callable at any point in the engine's
+///          lifetime, including from inside timer callbacks.
+///  * post: monotonically non-decreasing within one engine's lifetime;
+///          two consecutive calls may return the same value. The engine
+///          never compares times across engines, so shard-local clocks
+///          need no mutual synchronization.
+///  * The engine samples now() on the inspection path; implementations
+///    should be O(1) and allocation-free.
 class Clock {
  public:
   virtual ~Clock() = default;
@@ -40,9 +49,30 @@ class Clock {
 };
 
 /// O(1)-amortized one-shot timers at absolute times. Semantics follow
-/// sim::TimerWheel: a timer scheduled at `t` fires at the first tick
-/// boundary at or after `t`; cancel/reschedule of a stale id returns
-/// false and is harmless.
+/// sim::TimerWheel.
+///
+/// Contract:
+///  * schedule_at(t, fn) —
+///    pre:  fn non-empty. t may lie in the past; implementations clamp
+///          it to now (the timer then fires on the next service step).
+///    post: returns an id != sim::kInvalidTimer that stays valid until
+///          the timer fires or is cancelled. fn runs at the first tick
+///          boundary >= t, at most once, with Clock::now() already
+///          advanced to (at least) the fire time. Timers landing on the
+///          same tick fire in schedule order — the engine relies on
+///          this for cross-run determinism. Scheduling must not invoke
+///          fn inline.
+///  * cancel(id) —
+///    post: true iff a pending timer was revoked; its fn never runs.
+///          Stale/foreign ids return false and are harmless (the engine
+///          cancels defensively from eviction hooks).
+///  * reschedule(id, t) —
+///    post: true iff the pending timer now fires at (the tick of) t,
+///          keeping its id; false for stale ids, after which the caller
+///          must schedule_at afresh. Never loses or duplicates a fire.
+///  * All three are called from the datapath; implementations should be
+///    O(1) amortized and allocation-free in steady state (TimerFn's
+///    inline storage holds the engine's small captures).
 class TimerService {
  public:
   virtual ~TimerService() = default;
@@ -52,6 +82,20 @@ class TimerService {
 };
 
 /// Emits the duplicate-ACK probe train toward `flow`'s claimed source.
+///
+/// Contract:
+///  * pre:  called at most once per probation (the engine latches
+///          probe_sent), from a TimerService callback — i.e. never
+///          re-entrantly from inside inspect().
+///  * post: the implementation owns delivery: crafting the
+///          cfg.probe_dup_acks ACKs, their spacing, and any further
+///          scheduling. It must not call back into the engine
+///          synchronously. `flow` is passed by reference and is only
+///          valid for the duration of the call — copy what you keep.
+///  * Ordering: implementations that merge several engines onto one
+///    wire (ShardedMaficFilter's per-shard sinks) preserve call order;
+///    the engine in turn requests probes in admission-arrival order
+///    when driven through span-ordered batches.
 class ProbeSink {
  public:
   virtual ~ProbeSink() = default;

@@ -69,8 +69,9 @@ EngineVerdict FilterEngine::inspect_hashed(const sim::Packet& p,
   return inspect_keyed(p, key);
 }
 
-void FilterEngine::inspect_batch(const sim::Packet* pkts, std::size_t n,
-                                 EngineVerdict* out) {
+template <typename GetPacket>
+void FilterEngine::inspect_batch_impl(GetPacket&& get, std::size_t n,
+                                      EngineVerdict* out) {
   // Prefetch window: wide enough to overlap several DRAM round trips,
   // small enough that the prefetched lines survive until their lookup.
   constexpr std::size_t kWindow = 16;
@@ -81,9 +82,8 @@ void FilterEngine::inspect_batch(const sim::Packet* pkts, std::size_t n,
   while (i < n) {
     const std::size_t m = std::min(kWindow, n - i);
     for (std::size_t j = 0; j < m; ++j) {
-      const sim::Packet& p = pkts[i + j];
-      const bool h = active_ && victims_.contains(p.label.dst) &&
-                     p.proto != sim::Protocol::kControl;
+      const sim::Packet& p = get(i + j);
+      const bool h = wants(p);
       hot[j] = h ? 1 : 0;
       if (h) {
         keys[j] = sim::hash_label(p.label);
@@ -91,11 +91,39 @@ void FilterEngine::inspect_batch(const sim::Packet* pkts, std::size_t n,
       }
     }
     for (std::size_t j = 0; j < m; ++j) {
-      out[i + j] = hot[j] != 0 ? inspect_keyed(pkts[i + j], keys[j])
+      out[i + j] = hot[j] != 0 ? inspect_keyed(get(i + j), keys[j])
                                : EngineVerdict::kForward;
     }
     i += m;
   }
+}
+
+void FilterEngine::inspect_batch(const sim::Packet* pkts, std::size_t n,
+                                 EngineVerdict* out) {
+  inspect_batch_impl(
+      [pkts](std::size_t i) -> const sim::Packet& { return pkts[i]; }, n,
+      out);
+}
+
+void FilterEngine::inspect_batch(const sim::Packet* const* pkts,
+                                 std::size_t n, EngineVerdict* out) {
+  inspect_batch_impl(
+      [pkts](std::size_t i) -> const sim::Packet& { return *pkts[i]; }, n,
+      out);
+}
+
+bool FilterEngine::pd_coin(const sim::Packet& p, std::uint64_t key) {
+  if (cfg_.coin_mode == CoinMode::kPacketHash) {
+    const double pd = cfg_.drop_probability;
+    if (pd <= 0.0) return false;
+    if (pd >= 1.0) return true;
+    // Stateless per-packet draw: same (seed, flow, packet) -> same coin,
+    // regardless of which engine inspects it or what interleaves.
+    const std::uint64_t h =
+        util::mix64(cfg_.coin_seed ^ key ^ util::mix64(p.uid));
+    return static_cast<double>(h >> 11) * 0x1.0p-53 < pd;
+  }
+  return rng_.bernoulli(cfg_.drop_probability);
 }
 
 EngineVerdict FilterEngine::inspect_keyed(const sim::Packet& p,
@@ -136,8 +164,7 @@ EngineVerdict FilterEngine::inspect_keyed(const sim::Packet& p,
       } else {
         ++e->probe_count;
       }
-      const bool drop_it =
-          cfg_.drop_all_in_sft || rng_.bernoulli(cfg_.drop_probability);
+      const bool drop_it = cfg_.drop_all_in_sft || pd_coin(p, key);
       if (drop_it) {
         ++stats_.dropped_probation;
         return EngineVerdict::kDropProbation;
@@ -161,7 +188,7 @@ EngineVerdict FilterEngine::inspect_keyed(const sim::Packet& p,
   }
 
   // "Drop packet with probability Pd"; the drop is what opens probation.
-  if (rng_.bernoulli(cfg_.drop_probability)) {
+  if (pd_coin(p, key)) {
     admit(p, key);
     ++stats_.dropped_probation;
     return EngineVerdict::kDropProbation;

@@ -110,6 +110,22 @@ class FilterEngine {
   void inspect_batch(const sim::Packet* pkts, std::size_t n,
                      EngineVerdict* out);
 
+  /// inspect_batch over an indirect span (pointer array instead of a
+  /// contiguous packet array) — what a simulator burst delivers. Same
+  /// windowed pre-hash + prefetch, same verdicts.
+  void inspect_batch(const sim::Packet* const* pkts, std::size_t n,
+                     EngineVerdict* out);
+
+  /// The batched-inspection hot gate: true when `p` is inspectable
+  /// victim-bound traffic (engine active, protected destination, not
+  /// control). Cold packets forward without hashing or prefetching.
+  /// One predicate shared by inspect_batch here and
+  /// ShardedFilter::inspect_batch, so the batched paths cannot drift.
+  bool wants(const sim::Packet& p) const noexcept {
+    return active_ && victims_.contains(p.label.dst) &&
+           p.proto != sim::Protocol::kControl;
+  }
+
   void set_classification_callback(ClassificationCallback cb) {
     on_classified_ = std::move(cb);
   }
@@ -131,6 +147,12 @@ class FilterEngine {
   /// The Fig. 2 walk with the label hash already computed (shared by the
   /// scalar and batched paths).
   EngineVerdict inspect_keyed(const sim::Packet& p, std::uint64_t key);
+  /// Windowed pre-hash + prefetch batch walk over any packet accessor.
+  template <typename GetPacket>
+  void inspect_batch_impl(GetPacket&& get, std::size_t n,
+                          EngineVerdict* out);
+  /// The Pd coin under the configured CoinMode.
+  bool pd_coin(const sim::Packet& p, std::uint64_t key);
   /// Resolves a probation according to the two half-window counts.
   TableKind decide(std::uint64_t key);
   void admit(const sim::Packet& p, std::uint64_t key);

@@ -16,15 +16,12 @@ sim::NodeId MaficFilter::atr_node_id() const noexcept {
 }
 
 sim::InlineFilter::Decision MaficFilter::inspect(sim::Packet& p) {
-  switch (engine_.inspect(p)) {
-    case EngineVerdict::kForward:
-      return Decision::forward();
-    case EngineVerdict::kDropProbation:
-      return Decision::drop(sim::DropReason::kDefenseProbe);
-    case EngineVerdict::kDropPdt:
-      return Decision::drop(sim::DropReason::kDefensePdt);
-  }
-  return Decision::forward();
+  return to_decision(engine_.inspect(p));
+}
+
+void MaficFilter::inspect_burst(sim::PacketPtr* pkts, std::size_t n,
+                                Decision* out) {
+  inspect_burst_via(engine_, pkts, n, batch_ptrs_, batch_verdicts_, out);
 }
 
 }  // namespace mafic::core

@@ -23,6 +23,7 @@
 #include "core/config.hpp"
 #include "core/filter_engine.hpp"
 #include "core/prober.hpp"
+#include "core/sim_seams.hpp"
 #include "sim/connector.hpp"
 #include "sim/node.hpp"
 #include "sim/simulator.hpp"
@@ -71,39 +72,19 @@ class MaficFilter final : public sim::InlineFilter, public DefenseActuator {
 
  protected:
   Decision inspect(sim::Packet& p) override;
+  /// Bursts route through the engine's batched (pre-hash + prefetch)
+  /// inspection; verdict-identical to per-packet inspect().
+  void inspect_burst(sim::PacketPtr* pkts, std::size_t n,
+                     Decision* out) override;
 
  private:
-  /// Clock seam over the simulation clock.
-  class SimClock final : public Clock {
-   public:
-    explicit SimClock(sim::Simulator* sim) noexcept : sim_(sim) {}
-    double now() const noexcept override { return sim_->now(); }
-
-   private:
-    sim::Simulator* sim_;
-  };
-
-  /// TimerService seam over the simulator's hierarchical timer wheel.
-  class SimTimerService final : public TimerService {
-   public:
-    explicit SimTimerService(sim::Simulator* sim) noexcept : sim_(sim) {}
-    sim::TimerId schedule_at(double t, TimerFn fn) override {
-      return sim_->schedule_timer_at(t, std::move(fn));
-    }
-    bool cancel(sim::TimerId id) override { return sim_->cancel_timer(id); }
-    bool reschedule(sim::TimerId id, double t) override {
-      return sim_->reschedule_timer(id, t);
-    }
-
-   private:
-    sim::Simulator* sim_;
-  };
-
   sim::Node* atr_node_;
   SimClock clock_;
   SimTimerService timers_;
   Prober prober_;
   FilterEngine engine_;
+  std::vector<const sim::Packet*> batch_ptrs_;     ///< burst scratch
+  std::vector<EngineVerdict> batch_verdicts_;      ///< burst scratch
 };
 
 }  // namespace mafic::core

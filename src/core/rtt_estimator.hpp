@@ -8,18 +8,30 @@
 /// (now - TSecr) sampled at an ingress router covers sink -> sender ->
 /// router: roughly half the round trip. The configured correction factor
 /// scales the sample back to a full-RTT estimate.
+///
+/// Storage: one flat open-addressing table (util::FlatTable) of EWMA
+/// records — the same substrate as the flow store — bounded by
+/// MaficConfig::rtt_capacity. Presence in the table IS the initialized
+/// flag, so observe()/rtt() are one probe sequence each and steady-state
+/// tsecr-bearing traffic touches no allocator. Estimates live outside the
+/// flow tables, so they persist across probation transitions (SFT ->
+/// NFT/PDT, NFT revalidation) and are only discarded by clear() when the
+/// defense deactivates. The EWMA arithmetic is the same
+/// initialize-then-blend sequence as util::Ewma, so estimates are
+/// bit-identical to the pre-flat unordered_map implementation
+/// (test_core_rtt_flat pins this against a reference map).
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "core/config.hpp"
-#include "util/stats.hpp"
+#include "util/flat_table.hpp"
 
 namespace mafic::core {
 
 class RttEstimator {
  public:
-  explicit RttEstimator(const MaficConfig& cfg) : cfg_(cfg) {}
+  explicit RttEstimator(const MaficConfig& cfg)
+      : cfg_(cfg), flows_(cfg.rtt_capacity, cfg.flow_store_max_load) {}
 
   /// Feeds one timestamp-echo sample (now - tsecr) for a flow key.
   void observe(std::uint64_t key, double raw_sample) {
@@ -28,21 +40,21 @@ class RttEstimator {
     if (corrected < cfg_.min_rtt / 4.0 || corrected > cfg_.max_rtt * 4.0) {
       return;  // garbage echo (e.g. stale stamp after idleness)
     }
-    auto [it, inserted] =
-        flows_.try_emplace(key, util::Ewma{cfg_.rtt_ewma_alpha});
-    it->second.update(corrected);
+    if (Estimate* e = flows_.find(key)) {
+      e->value += cfg_.rtt_ewma_alpha * (corrected - e->value);
+      return;
+    }
+    if (flows_.size() >= flows_.max_entries()) recycle_one();
+    flows_.insert(key).first->value = corrected;
   }
 
   /// Current estimate for the flow, clamped; default when never observed.
   double rtt(std::uint64_t key) const {
-    const auto it = flows_.find(key);
-    if (it == flows_.end() || !it->second.initialized()) {
-      return cfg_.default_rtt;
-    }
-    const double v = it->second.value();
-    if (v < cfg_.min_rtt) return cfg_.min_rtt;
-    if (v > cfg_.max_rtt) return cfg_.max_rtt;
-    return v;
+    const Estimate* e = flows_.find(key);
+    if (e == nullptr) return cfg_.default_rtt;
+    if (e->value < cfg_.min_rtt) return cfg_.min_rtt;
+    if (e->value > cfg_.max_rtt) return cfg_.max_rtt;
+    return e->value;
   }
 
   bool has_estimate(std::uint64_t key) const {
@@ -50,11 +62,37 @@ class RttEstimator {
   }
 
   std::size_t tracked_flows() const noexcept { return flows_.size(); }
-  void clear() { flows_.clear(); }
+  std::uint64_t recycled() const noexcept { return recycled_; }
+  void clear() {
+    flows_.clear();
+    recycle_cursor_ = 0;
+  }
 
  private:
+  struct Estimate {
+    double value = 0.0;
+  };
+
+  /// Capacity bound hit: drop an arbitrary resident estimate, rotating
+  /// through the table so no flow is recycled twice in a row. The evicted
+  /// flow falls back to default_rtt until its next usable echo.
+  void recycle_one() {
+    std::uint64_t victim = 0;
+    const std::size_t at = flows_.scan(
+        recycle_cursor_, [&](std::uint64_t key, const Estimate&) {
+          victim = key;
+          return true;
+        });
+    if (at == util::FlatTable<Estimate>::kNpos) return;
+    recycle_cursor_ = at + 1;
+    flows_.erase(victim);
+    ++recycled_;
+  }
+
   const MaficConfig& cfg_;
-  std::unordered_map<std::uint64_t, util::Ewma> flows_;
+  util::FlatTable<Estimate> flows_;
+  std::size_t recycle_cursor_ = 0;
+  std::uint64_t recycled_ = 0;
 };
 
 }  // namespace mafic::core

@@ -5,51 +5,118 @@
 
 namespace mafic::core {
 
+namespace {
+struct Partition {
+  unsigned bits;
+  unsigned shift;
+};
+
+Partition partition_for(std::size_t shard_count) {
+  assert(std::has_single_bit(shard_count));
+  const auto bits = static_cast<unsigned>(std::countr_zero(shard_count));
+  return {bits, 64 - bits};
+}
+}  // namespace
+
 ShardedFilter::ShardedFilter(std::size_t shard_count, const MaficConfig& cfg,
                              const AddressPolicy* policy,
                              std::uint64_t seed) {
-  if (shard_count < 1) shard_count = 1;
-  assert(std::has_single_bit(shard_count) &&
-         "shard count must be a power of two");
-  shard_bits_ = static_cast<unsigned>(std::countr_zero(shard_count));
-  shift_ = 64 - shard_bits_;
-  shards_.reserve(shard_count);
+  shard_count = usable_shard_count(shard_count);
+  const Partition part = partition_for(shard_count);
+  shard_bits_ = part.bits;
+  shift_ = part.shift;
+  runtimes_.reserve(shard_count);
+  engines_.reserve(shard_count);
   for (std::size_t i = 0; i < shard_count; ++i) {
-    shards_.push_back(std::make_unique<EngineRuntime>(
+    runtimes_.push_back(std::make_unique<EngineRuntime>(
         cfg, policy, util::Rng(shard_seed(seed, i))));
+    engines_.push_back(&runtimes_.back()->engine());
+  }
+}
+
+ShardedFilter::ShardedFilter(std::size_t shard_count, const MaficConfig& cfg,
+                             const AddressPolicy* policy, std::uint64_t seed,
+                             const SeamProvider& seams) {
+  shard_count = usable_shard_count(shard_count);
+  const Partition part = partition_for(shard_count);
+  shard_bits_ = part.bits;
+  shift_ = part.shift;
+  owned_engines_.reserve(shard_count);
+  engines_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    const ShardSeams s = seams(i);
+    assert(s.clock != nullptr && s.timers != nullptr && s.probes != nullptr);
+    owned_engines_.push_back(std::make_unique<FilterEngine>(
+        cfg, s.clock, s.timers, s.probes, policy,
+        util::Rng(shard_seed(seed, i))));
+    engines_.push_back(owned_engines_.back().get());
   }
 }
 
 void ShardedFilter::activate(const VictimSet& victims) {
-  for (auto& s : shards_) s->engine().activate(victims);
+  for (auto* e : engines_) e->activate(victims);
 }
 
 void ShardedFilter::refresh() {
-  for (auto& s : shards_) s->engine().refresh();
+  for (auto* e : engines_) e->refresh();
 }
 
 void ShardedFilter::deactivate() {
-  for (auto& s : shards_) s->engine().deactivate();
+  for (auto* e : engines_) e->deactivate();
 }
 
 bool ShardedFilter::active() const noexcept {
-  return !shards_.empty() && shards_.front()->engine().active();
+  return !engines_.empty() && engines_.front()->active();
 }
 
 EngineVerdict ShardedFilter::inspect(const sim::Packet& p) {
   // Hash once: the routing key doubles as the table key.
   const std::uint64_t key = sim::hash_label(p.label);
-  return shards_[shard_of(key)]->engine().inspect_hashed(p, key);
+  return engines_[shard_of(key)]->inspect_hashed(p, key);
+}
+
+void ShardedFilter::inspect_batch(const sim::Packet* const* pkts,
+                                  std::size_t n, EngineVerdict* out) {
+  constexpr std::size_t kWindow = 16;
+  std::uint64_t keys[kWindow];
+  std::uint8_t hot[kWindow];  // victim-bound and inspectable
+
+  // Every shard shares the activation state and victim set (the control
+  // plane fans out), so the first engine's hot gate decides for all of
+  // them — cold packets skip the hash, the prefetch and the engine call.
+  const FilterEngine& gate = *engines_.front();
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t m = n - i < kWindow ? n - i : kWindow;
+    for (std::size_t j = 0; j < m; ++j) {
+      const bool h = gate.wants(*pkts[i + j]);
+      hot[j] = h ? 1 : 0;
+      if (h) {
+        keys[j] = sim::hash_label(pkts[i + j]->label);
+        engines_[shard_of(keys[j])]->tables().prefetch(keys[j]);
+      }
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      out[i + j] = hot[j] != 0
+                       ? engines_[shard_of(keys[j])]->inspect_hashed(
+                             *pkts[i + j], keys[j])
+                       : EngineVerdict::kForward;
+    }
+    i += m;
+  }
 }
 
 void ShardedFilter::advance_until(double t) {
-  for (auto& s : shards_) s->advance_until(t);
+  assert(owned_engines_.empty() &&
+         "advance_until is standalone-mode only; external seams are "
+         "driven by their environment");
+  for (auto& s : runtimes_) s->advance_until(t);
 }
 
 FilterEngine::Stats ShardedFilter::aggregate_stats() const {
   FilterEngine::Stats sum;
-  for (const auto& s : shards_) {
-    const FilterEngine::Stats& st = s->engine().stats();
+  for (const auto* e : engines_) {
+    const FilterEngine::Stats& st = e->stats();
     sum.offered += st.offered;
     sum.forwarded += st.forwarded;
     sum.dropped_probation += st.dropped_probation;
@@ -64,7 +131,7 @@ FilterEngine::Stats ShardedFilter::aggregate_stats() const {
 
 std::size_t ShardedFilter::resident() const {
   std::size_t n = 0;
-  for (const auto& s : shards_) n += s->engine().tables().resident();
+  for (const auto* e : engines_) n += e->tables().resident();
   return n;
 }
 

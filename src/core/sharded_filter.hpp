@@ -20,8 +20,21 @@
 /// routing layer. Drivers (bench_flow_store_scale's multi-threaded
 /// harness, or a DPDK-style run-to-completion loop) own the threads and
 /// feed each shard its pre-partitioned bursts via engine(i).inspect_batch.
+///
+/// Two runtimes:
+///  * standalone (default constructor): every shard is a self-contained
+///    EngineRuntime — manual clock, private wheel, counting probe sink —
+///    and the owner drives time with advance_until().
+///  * external seams (SeamProvider constructor): the embedding runtime
+///    supplies each shard's Clock/TimerService/ProbeSink — how the
+///    discrete-event adapter (ShardedMaficFilter) mounts the shards on
+///    the simulator's clock, shared wheel and a real Prober. In this mode
+///    the environment drives time; advance_until() must not be called.
 
+#include <bit>
+#include <cassert>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -32,11 +45,36 @@ namespace mafic::core {
 
 class ShardedFilter {
  public:
-  /// `shard_count` must be a power of two (the partition is a bit slice).
-  /// Per-shard capacities come from `cfg` verbatim: N shards hold N times
-  /// the flows of one engine, mirroring per-core table memory.
+  /// One shard's environment bindings (non-owning; must outlive the
+  /// filter). See engine_seams.hpp for the seam contracts.
+  struct ShardSeams {
+    Clock* clock = nullptr;
+    TimerService* timers = nullptr;
+    ProbeSink* probes = nullptr;
+  };
+  /// Supplies the seams for shard `i`; invoked once per shard during
+  /// construction, in shard order.
+  using SeamProvider = std::function<ShardSeams(std::size_t shard)>;
+
+  /// The partition is a bit slice, so the effective shard count is
+  /// `requested` rounded up to a power of two (3 -> 4, 0 -> 1); see
+  /// shard_count() for what was actually built.
+  static std::size_t usable_shard_count(std::size_t requested) noexcept {
+    return std::bit_ceil(requested < 1 ? std::size_t{1} : requested);
+  }
+
+  /// `shard_count` rounds up to a power of two (the partition is a bit
+  /// slice). Per-shard capacities come from `cfg` verbatim: N shards
+  /// hold N times the flows of one engine, mirroring per-core table
+  /// memory.
   ShardedFilter(std::size_t shard_count, const MaficConfig& cfg,
                 const AddressPolicy* policy, std::uint64_t seed);
+
+  /// External-seams mode: engines bind to the provided environment
+  /// instead of private EngineRuntimes.
+  ShardedFilter(std::size_t shard_count, const MaficConfig& cfg,
+                const AddressPolicy* policy, std::uint64_t seed,
+                const SeamProvider& seams);
 
   /// Deterministic per-shard RNG seed derivation; exposed so equivalence
   /// tests can rebuild shard i's stream in a standalone engine.
@@ -45,7 +83,7 @@ class ShardedFilter {
     return util::mix64(base_seed ^ (0x9e3779b97f4a7c15ULL * (shard + 1)));
   }
 
-  std::size_t shard_count() const noexcept { return shards_.size(); }
+  std::size_t shard_count() const noexcept { return engines_.size(); }
 
   /// Home shard of a flow key: the top log2(N) bits. hash_label output is
   /// well mixed, and the flat store indexes with an independent Fibonacci
@@ -57,12 +95,19 @@ class ShardedFilter {
     return shard_of(sim::hash_label(p.label));
   }
 
-  EngineRuntime& shard(std::size_t i) noexcept { return *shards_[i]; }
-  const EngineRuntime& shard(std::size_t i) const noexcept {
-    return *shards_[i];
+  /// Standalone mode only: shard i's self-contained runtime (external-
+  /// seams filters have no runtimes; use engine(i) there).
+  EngineRuntime& shard(std::size_t i) noexcept {
+    assert(!runtimes_.empty() && "shard() is standalone-mode only");
+    return *runtimes_[i];
   }
-  FilterEngine& engine(std::size_t i) noexcept {
-    return shards_[i]->engine();
+  const EngineRuntime& shard(std::size_t i) const noexcept {
+    assert(!runtimes_.empty() && "shard() is standalone-mode only");
+    return *runtimes_[i];
+  }
+  FilterEngine& engine(std::size_t i) noexcept { return *engines_[i]; }
+  const FilterEngine& engine(std::size_t i) const noexcept {
+    return *engines_[i];
   }
 
   // --- control plane (single-threaded, between datapath bursts) --------
@@ -76,7 +121,21 @@ class ShardedFilter {
   /// bursts).
   EngineVerdict inspect(const sim::Packet& p);
 
+  /// Batch-inspects an indirect span (what a simulator burst delivers)
+  /// in ARRIVAL order: pre-hashes a window of keys, prefetches each
+  /// key's home slot in its home shard's store, then classifies
+  /// sequentially, dispatching every packet to its home engine. Keeps
+  /// the memory-level parallelism of FilterEngine::inspect_batch while
+  /// preserving cross-shard arrival order — admissions schedule their
+  /// probe/decision timers in span order, so a shared timer service
+  /// fires them (and emits probes) exactly as a single engine would.
+  /// Single-threaded by design; the threaded fast path remains
+  /// per-shard engine(i).inspect_batch on pre-partitioned substreams.
+  void inspect_batch(const sim::Packet* const* pkts, std::size_t n,
+                     EngineVerdict* out);
+
   /// Advances every shard's clock, firing due probation timers.
+  /// Standalone mode only (external seams are driven by the environment).
   void advance_until(double t);
 
   /// Sums engine stats across shards.
@@ -87,7 +146,12 @@ class ShardedFilter {
  private:
   unsigned shard_bits_ = 0;
   unsigned shift_ = 64;
-  std::vector<std::unique_ptr<EngineRuntime>> shards_;
+  /// Standalone mode: one self-contained runtime per shard (else empty).
+  std::vector<std::unique_ptr<EngineRuntime>> runtimes_;
+  /// External-seams mode: engines owned directly (else empty).
+  std::vector<std::unique_ptr<FilterEngine>> owned_engines_;
+  /// Both modes: shard i's engine (the common routing/datapath surface).
+  std::vector<FilterEngine*> engines_;
 };
 
 }  // namespace mafic::core

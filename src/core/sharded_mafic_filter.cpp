@@ -1,0 +1,82 @@
+#include "core/sharded_mafic_filter.hpp"
+
+namespace mafic::core {
+
+ShardedMaficFilter::ShardedMaficFilter(sim::Simulator* sim,
+                                       sim::PacketFactory* factory,
+                                       sim::Node* atr_node,
+                                       std::size_t num_shards,
+                                       MaficConfig cfg,
+                                       const AddressPolicy* policy,
+                                       std::uint64_t seed)
+    : atr_node_(atr_node),
+      clock_(sim),
+      timers_(sim),
+      prober_(sim, factory, atr_node, cfg),
+      shard_sinks_(ShardedFilter::usable_shard_count(num_shards)),
+      sharded_(num_shards, cfg, policy, seed,
+               [this](std::size_t i) {
+                 shard_sinks_[i].wire = &prober_;
+                 return ShardedFilter::ShardSeams{&clock_, &timers_,
+                                                 &shard_sinks_[i]};
+               }) {}
+
+sim::NodeId ShardedMaficFilter::atr_node_id() const noexcept {
+  return atr_node_->id();
+}
+
+void ShardedMaficFilter::set_offered_callback(
+    FilterEngine::OfferedCallback cb) {
+  for (std::size_t i = 0; i < sharded_.shard_count(); ++i) {
+    sharded_.engine(i).set_offered_callback(cb);
+  }
+}
+
+void ShardedMaficFilter::set_classification_callback(
+    FilterEngine::ClassificationCallback cb) {
+  for (std::size_t i = 0; i < sharded_.shard_count(); ++i) {
+    sharded_.engine(i).set_classification_callback(cb);
+  }
+}
+
+FlowTables::Stats ShardedMaficFilter::tables_stats() const {
+  FlowTables::Stats sum;
+  for (std::size_t i = 0; i < sharded_.shard_count(); ++i) {
+    const FlowTables::Stats& st = sharded_.engine(i).tables().stats();
+    sum.sft_admissions += st.sft_admissions;
+    sum.sft_evictions += st.sft_evictions;
+    sum.moved_to_nft += st.moved_to_nft;
+    sum.moved_to_pdt += st.moved_to_pdt;
+    sum.direct_pdt += st.direct_pdt;
+    sum.nft_expirations += st.nft_expirations;
+    sum.flushes += st.flushes;
+  }
+  return sum;
+}
+
+FilterEngine::VictimStats ShardedMaficFilter::victim_stats_for(
+    util::Addr victim) const {
+  FilterEngine::VictimStats sum;
+  for (std::size_t i = 0; i < sharded_.shard_count(); ++i) {
+    const auto& per = sharded_.engine(i).victim_stats();
+    const auto it = per.find(victim);
+    if (it == per.end()) continue;
+    sum.decided_nice += it->second.decided_nice;
+    sum.decided_malicious += it->second.decided_malicious;
+    sum.screened_sources += it->second.screened_sources;
+  }
+  return sum;
+}
+
+sim::InlineFilter::Decision ShardedMaficFilter::inspect(sim::Packet& p) {
+  if (max_burst_ == 0) max_burst_ = 1;
+  return to_decision(sharded_.inspect(p));
+}
+
+void ShardedMaficFilter::inspect_burst(sim::PacketPtr* pkts, std::size_t n,
+                                       Decision* out) {
+  if (n > max_burst_) max_burst_ = n;
+  inspect_burst_via(sharded_, pkts, n, batch_ptrs_, batch_verdicts_, out);
+}
+
+}  // namespace mafic::core

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file sim_seams.hpp
+/// Discrete-event-simulator implementations of the engine seams
+/// (engine_seams.hpp), shared by the scalar adapter (MaficFilter) and the
+/// sharded adapter (ShardedMaficFilter):
+///   SimClock        -> Simulator::now()
+///   SimTimerService -> the simulator's shared hierarchical timer wheel
+/// The ProbeSink binding is Prober (prober.hpp), which puts real packets
+/// on the ATR's wire. Also home to the shared EngineVerdict ->
+/// InlineFilter::Decision mapping so the two adapters cannot drift.
+
+#include "core/engine_seams.hpp"
+#include "core/filter_engine.hpp"
+#include "sim/connector.hpp"
+#include "sim/simulator.hpp"
+
+namespace mafic::core {
+
+/// Maps an engine verdict onto the sim datapath's drop vocabulary; both
+/// sim adapters use this one mapping so ledger drop accounting can never
+/// diverge between the scalar and sharded paths.
+inline sim::InlineFilter::Decision to_decision(EngineVerdict v) noexcept {
+  switch (v) {
+    case EngineVerdict::kForward:
+      return sim::InlineFilter::Decision::forward();
+    case EngineVerdict::kDropProbation:
+      return sim::InlineFilter::Decision::drop(
+          sim::DropReason::kDefenseProbe);
+    case EngineVerdict::kDropPdt:
+      return sim::InlineFilter::Decision::drop(sim::DropReason::kDefensePdt);
+  }
+  return sim::InlineFilter::Decision::forward();
+}
+
+/// Stages a burst span for an indirect inspect_batch and translates the
+/// verdicts into datapath decisions — the shared body of both adapters'
+/// inspect_burst. `batch` is a FilterEngine or a ShardedFilter (both
+/// expose inspect_batch(const Packet* const*, n, out)); `ptrs` and
+/// `verdicts` are caller-owned scratch, reused across bursts so steady
+/// state allocates nothing.
+template <typename Batch>
+inline void inspect_burst_via(Batch& batch, sim::PacketPtr* pkts,
+                              std::size_t n,
+                              std::vector<const sim::Packet*>& ptrs,
+                              std::vector<EngineVerdict>& verdicts,
+                              sim::InlineFilter::Decision* out) {
+  ptrs.resize(n);
+  verdicts.resize(n);
+  for (std::size_t i = 0; i < n; ++i) ptrs[i] = pkts[i].get();
+  batch.inspect_batch(ptrs.data(), n, verdicts.data());
+  for (std::size_t i = 0; i < n; ++i) out[i] = to_decision(verdicts[i]);
+}
+
+/// Clock seam over the simulation clock.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(sim::Simulator* sim) noexcept : sim_(sim) {}
+  double now() const noexcept override { return sim_->now(); }
+
+ private:
+  sim::Simulator* sim_;
+};
+
+/// TimerService seam over the simulator's hierarchical timer wheel.
+class SimTimerService final : public TimerService {
+ public:
+  explicit SimTimerService(sim::Simulator* sim) noexcept : sim_(sim) {}
+  sim::TimerId schedule_at(double t, TimerFn fn) override {
+    return sim_->schedule_timer_at(t, std::move(fn));
+  }
+  bool cancel(sim::TimerId id) override { return sim_->cancel_timer(id); }
+  bool reschedule(sim::TimerId id, double t) override {
+    return sim_->reschedule_timer(id, t);
+  }
+
+ private:
+  sim::Simulator* sim_;
+};
+
+}  // namespace mafic::core

@@ -41,6 +41,13 @@ Experiment::Experiment(ExperimentConfig cfg)
       rng_(cfg.seed),
       ledger_(cfg.series_bin_width) {
   cfg_.mafic.drop_probability = cfg_.drop_probability;
+  if (cfg_.num_shards > 0) {
+    // The sharded adapter's scalar-vs-sharded equivalence needs
+    // interleaving-independent Pd coins; seed them from the experiment
+    // seed so only num_shards may differ between compared runs.
+    cfg_.mafic.coin_mode = core::CoinMode::kPacketHash;
+    cfg_.mafic.coin_seed = util::mix64(cfg_.seed ^ 0xc0115eedULL);
+  }
 }
 
 Experiment::~Experiment() = default;
@@ -68,6 +75,7 @@ void Experiment::build_topology() {
   net_ = std::make_unique<sim::Network>(&sim_);
   auto domain_cfg = cfg_.domain;
   domain_cfg.router_count = cfg_.router_count;
+  domain_cfg.access_uplink_burst_packets = cfg_.link_burst_size;
   domain_ = std::make_unique<topology::Domain>(net_.get(), rng_.split(),
                                                domain_cfg);
   domain_->build_core();
@@ -265,6 +273,21 @@ void Experiment::build_defense() {
     sim::Node* atr = net_->node(access.router);
     switch (cfg_.defense) {
       case DefenseKind::kMafic: {
+        if (cfg_.num_shards > 0) {
+          // Sharded datapath: the filter sits at the receiving end of
+          // the uplink, where burst mode delivers coalesced spans.
+          auto filter = std::make_unique<core::ShardedMaficFilter>(
+              &sim_, &factory_, atr, cfg_.num_shards, cfg_.mafic,
+              policy_.get(), /*seed=*/rng_.next());
+          filter->set_offered_callback([this](const sim::Packet& p) {
+            ledger_.on_defense_offered(p, sim_.now());
+          });
+          core::ShardedMaficFilter* raw = filter.get();
+          access.uplink->add_tail_tap(std::move(filter));
+          sharded_filters_.push_back(raw);
+          coordinator_->register_actuator(access.router, raw);
+          break;
+        }
         auto filter = std::make_unique<core::MaficFilter>(
             &sim_, &factory_, atr, cfg_.mafic, policy_.get(), rng_.split());
         filter->set_offered_callback([this](const sim::Packet& p) {
@@ -333,6 +356,9 @@ void Experiment::arm_trigger() {
     for (auto* f : mafic_filters_) {
       if (in_scope(f->atr_node_id())) f->activate(victims);
     }
+    for (auto* f : sharded_filters_) {
+      if (in_scope(f->atr_node_id())) f->activate(victims);
+    }
     for (auto* f : proportional_filters_) {
       if (in_scope(f->location())) f->activate(victims);
     }
@@ -369,6 +395,15 @@ ExperimentResult Experiment::snapshot_result() const {
     r.screened_sources += f->stats().screened_sources;
     r.probes_issued += f->stats().probes_issued;
   }
+  for (const auto* f : sharded_filters_) {
+    const auto ts = f->tables_stats();
+    r.sft_admissions += ts.sft_admissions;
+    r.moved_to_nft += ts.moved_to_nft;
+    r.moved_to_pdt += ts.moved_to_pdt;
+    const auto es = f->stats();
+    r.screened_sources += es.screened_sources;
+    r.probes_issued += es.probes_issued;
+  }
 
   // Per-victim decision breakdown (engine-side accounting keyed by the
   // flow label's destination), aggregated across every filter.
@@ -383,6 +418,12 @@ ExperimentResult Experiment::snapshot_result() const {
       b.decided_malicious += it->second.decided_malicious;
       b.screened_sources += it->second.screened_sources;
     }
+    for (const auto* f : sharded_filters_) {
+      const auto vs = f->victim_stats_for(v);
+      b.decided_nice += vs.decided_nice;
+      b.decided_malicious += vs.decided_malicious;
+      b.screened_sources += vs.screened_sources;
+    }
     r.per_victim.push_back(b);
   }
 
@@ -392,6 +433,9 @@ ExperimentResult Experiment::snapshot_result() const {
     r.atr.identified = coordinator_->active_atrs();
   } else {
     for (const auto* f : mafic_filters_) {
+      if (f->active()) r.atr.identified.push_back(f->atr_node_id());
+    }
+    for (const auto* f : sharded_filters_) {
       if (f->active()) r.atr.identified.push_back(f->atr_node_id());
     }
     std::sort(r.atr.identified.begin(), r.atr.identified.end());

@@ -28,6 +28,7 @@
 #include "baseline/proportional_dropper.hpp"
 #include "core/address_policy.hpp"
 #include "core/mafic_filter.hpp"
+#include "core/sharded_mafic_filter.hpp"
 #include "metrics/ledger.hpp"
 #include "metrics/report.hpp"
 #include "pushback/coordinator.hpp"
@@ -120,6 +121,22 @@ struct ExperimentConfig {
   core::MaficConfig mafic{};  ///< Pd is overwritten from drop_probability
   baseline::AggregateLimiter::Config aggregate{};
 
+  /// Sharded ATR datapath. 0 (default) = the scalar MaficFilter at the
+  /// head of each ingress uplink — the legacy, golden-pinned path.
+  /// >= 1 (power of two) = a ShardedMaficFilter with this many engine
+  /// shards at the RECEIVING end of each ingress uplink, fed link bursts
+  /// through ShardedFilter::inspect_batch. Forces
+  /// MaficConfig::coin_mode = kPacketHash (seeded from `seed`) so runs
+  /// that differ only in num_shards make identical per-flow
+  /// classification decisions — num_shards = 1 is the scalar comparator.
+  std::size_t num_shards = 0;
+
+  /// Departure coalescing on ingress access uplinks
+  /// (DomainConfig::access_uplink_burst_packets): back-to-back departures
+  /// reach the ATR as one span of up to this many packets, which is what
+  /// drives the batched inspection path. 1 = per-packet delivery.
+  std::size_t link_burst_size = 1;
+
   // --- pushback substrate ----------------------------------------------------
   double epoch_seconds = 0.1;
   unsigned sketch_precision_bits = 10;
@@ -200,6 +217,11 @@ class Experiment {
   const std::vector<core::MaficFilter*>& mafic_filters() const noexcept {
     return mafic_filters_;
   }
+  /// Sharded-datapath filters (non-empty iff cfg.num_shards > 0).
+  const std::vector<core::ShardedMaficFilter*>& sharded_filters()
+      const noexcept {
+    return sharded_filters_;
+  }
   const std::vector<transport::TcpSender*>& tcp_senders() const noexcept {
     return tcp_sender_ptrs_;
   }
@@ -248,6 +270,7 @@ class Experiment {
 
   // Filters are owned by their links; we keep handles.
   std::vector<core::MaficFilter*> mafic_filters_;
+  std::vector<core::ShardedMaficFilter*> sharded_filters_;
   std::vector<baseline::ProportionalDropper*> proportional_filters_;
   std::vector<baseline::AggregateLimiter*> aggregate_filters_;
 

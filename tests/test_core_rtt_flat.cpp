@@ -1,0 +1,145 @@
+// Flat RttEstimator: bit-identical to the pre-flat unordered_map
+// implementation (kept inline here as the reference), plus the capacity
+// behavior the flat store adds — bounded residency with round-robin
+// recycling — and persistence across probation transitions.
+
+#include "core/rtt_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace mafic::core {
+namespace {
+
+/// The pre-flat implementation, verbatim: unordered_map of util::Ewma.
+class ReferenceRttEstimator {
+ public:
+  explicit ReferenceRttEstimator(const MaficConfig& cfg) : cfg_(cfg) {}
+
+  void observe(std::uint64_t key, double raw_sample) {
+    if (raw_sample <= 0.0) return;
+    const double corrected = raw_sample * cfg_.rtt_correction;
+    if (corrected < cfg_.min_rtt / 4.0 || corrected > cfg_.max_rtt * 4.0) {
+      return;
+    }
+    auto [it, inserted] =
+        flows_.try_emplace(key, util::Ewma{cfg_.rtt_ewma_alpha});
+    it->second.update(corrected);
+  }
+
+  double rtt(std::uint64_t key) const {
+    const auto it = flows_.find(key);
+    if (it == flows_.end() || !it->second.initialized()) {
+      return cfg_.default_rtt;
+    }
+    const double v = it->second.value();
+    if (v < cfg_.min_rtt) return cfg_.min_rtt;
+    if (v > cfg_.max_rtt) return cfg_.max_rtt;
+    return v;
+  }
+
+ private:
+  const MaficConfig& cfg_;
+  std::unordered_map<std::uint64_t, util::Ewma> flows_;
+};
+
+TEST(FlatRttEstimator, BitIdenticalToMapReference) {
+  MaficConfig cfg;
+  RttEstimator flat(cfg);
+  ReferenceRttEstimator ref(cfg);
+
+  // Randomized interleaving of good, garbage and negative samples over a
+  // churning key population, checking the estimate after every step.
+  util::Rng rng(20260729);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 200; ++i) keys.push_back(rng.next());
+
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t key = keys[rng.index(keys.size())];
+    double sample;
+    switch (rng.index(8)) {
+      case 0:
+        sample = -rng.uniform01();  // non-positive: rejected
+        break;
+      case 1:
+        sample = rng.uniform(1.0, 10.0);  // way past max_rtt: rejected
+        break;
+      case 2:
+        sample = rng.uniform(0.0, cfg.min_rtt / 16.0);  // too small
+        break;
+      default:
+        sample = rng.uniform(0.001, 0.12);  // plausible echo
+        break;
+    }
+    flat.observe(key, sample);
+    ref.observe(key, sample);
+    // Exact equality: the flat store must run the same FP sequence.
+    EXPECT_EQ(flat.rtt(key), ref.rtt(key)) << "step " << step;
+  }
+  for (const std::uint64_t key : keys) {
+    EXPECT_EQ(flat.rtt(key), ref.rtt(key));
+  }
+}
+
+TEST(FlatRttEstimator, DefaultUntilObservedAndClampedAfter) {
+  MaficConfig cfg;
+  RttEstimator est(cfg);
+  EXPECT_EQ(est.rtt(42), cfg.default_rtt);
+  EXPECT_FALSE(est.has_estimate(42));
+
+  est.observe(42, 0.02);  // corrected: 0.04
+  EXPECT_TRUE(est.has_estimate(42));
+  EXPECT_DOUBLE_EQ(est.rtt(42), 0.04);
+
+  // Clamps, never returns outside [min_rtt, max_rtt] once observed.
+  for (int i = 0; i < 50; ++i) est.observe(42, 0.19);  // corrected 0.38
+  EXPECT_EQ(est.rtt(42), cfg.max_rtt);
+  for (int i = 0; i < 200; ++i) est.observe(42, 0.003);
+  EXPECT_EQ(est.rtt(42), cfg.min_rtt);
+}
+
+TEST(FlatRttEstimator, EstimatesPersistIndependentOfFlowTables) {
+  // The estimator is deliberately outside the flow tables: a flow keeps
+  // its RTT through admit/resolve churn and only clear() (defense
+  // deactivation) forgets it.
+  MaficConfig cfg;
+  RttEstimator est(cfg);
+  est.observe(7, 0.025);
+  const double before = est.rtt(7);
+  // (probation transitions happen in FlowTables; nothing here to call —
+  // the point is the API has no coupling to them)
+  EXPECT_EQ(est.rtt(7), before);
+  est.clear();
+  EXPECT_FALSE(est.has_estimate(7));
+  EXPECT_EQ(est.rtt(7), cfg.default_rtt);
+  EXPECT_EQ(est.tracked_flows(), 0u);
+}
+
+TEST(FlatRttEstimator, CapacityRecyclesRoundRobin) {
+  MaficConfig cfg;
+  cfg.rtt_capacity = 64;
+  RttEstimator est(cfg);
+  for (std::uint64_t k = 1; k <= 64; ++k) est.observe(k, 0.02);
+  EXPECT_EQ(est.tracked_flows(), 64u);
+  EXPECT_EQ(est.recycled(), 0u);
+
+  // Past capacity: every new flow displaces exactly one resident
+  // estimate and is itself tracked.
+  for (std::uint64_t k = 65; k <= 96; ++k) {
+    est.observe(k, 0.03);
+    EXPECT_TRUE(est.has_estimate(k));
+    EXPECT_EQ(est.tracked_flows(), 64u);
+  }
+  EXPECT_EQ(est.recycled(), 32u);
+  // Updates to resident flows never recycle.
+  est.observe(96, 0.03);
+  EXPECT_EQ(est.recycled(), 32u);
+}
+
+}  // namespace
+}  // namespace mafic::core

@@ -175,6 +175,54 @@ TEST(ShardedFilter, NShardDecisionsMatchSingleShardSubstreams) {
   }
 }
 
+TEST(ShardedFilter, IndirectBatchMatchesScalarInspect) {
+  // Two same-seed filters, one driven packet-by-packet, one in spans
+  // through the indirect (burst) inspect_batch: span-ordered
+  // classification must produce the identical verdict sequence.
+  const MaficConfig cfg = test_config();
+  const Workload w = make_workload(48);
+  const VictimSet victims{util::make_addr(172, 17, 0, 1)};
+
+  ShardedFilter scalar(4, cfg, nullptr, kSeed);
+  ShardedFilter batched(4, cfg, nullptr, kSeed);
+  scalar.activate(victims);
+  batched.activate(victims);
+
+  std::vector<EngineVerdict> scalar_verdicts;
+  std::vector<EngineVerdict> batched_verdicts;
+  std::vector<const sim::Packet*> span;
+  std::vector<EngineVerdict> span_out;
+  std::size_t i = 0;
+  while (i < w.events.size()) {
+    // Deterministically sized spans (1..13) of same-time-ordered packets.
+    const std::size_t n =
+        std::min<std::size_t>(1 + (i * 7) % 13, w.events.size() - i);
+    const double t = w.events[i + n - 1].first;
+    scalar.advance_until(t);
+    batched.advance_until(t);
+    span.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      scalar_verdicts.push_back(scalar.inspect(w.events[i + j].second));
+      span.push_back(&w.events[i + j].second);
+    }
+    span_out.resize(n);
+    batched.inspect_batch(span.data(), n, span_out.data());
+    batched_verdicts.insert(batched_verdicts.end(), span_out.begin(),
+                            span_out.end());
+    i += n;
+  }
+  scalar.advance_until(1.0);
+  batched.advance_until(1.0);
+
+  EXPECT_EQ(scalar_verdicts, batched_verdicts);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(scalar.engine(s).tables().nft_size(),
+              batched.engine(s).tables().nft_size());
+    EXPECT_EQ(scalar.engine(s).tables().pdt_size(),
+              batched.engine(s).tables().pdt_size());
+  }
+}
+
 TEST(ShardedFilter, SameSeedRunsAreIdentical) {
   const MaficConfig cfg = test_config();
   const Workload w = make_workload(32);

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for README and docs.
+
+Walks the given markdown files (or directories), extracts inline links
+and images, and fails when a *relative* link points at a file that does
+not exist in the repository, or an intra-document anchor has no matching
+heading. External links (http/https/mailto) are not fetched — CI must
+not depend on the network — they are only counted.
+
+Usage:
+    tools/check_markdown_links.py README.md docs [more files...]
+"""
+
+import argparse
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def anchor_of(heading: str) -> str:
+    """GitHub-style slug: lowercase, drop punctuation, spaces to dashes."""
+    heading = re.sub(r"[`*_~]", "", heading).strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def collect_files(paths):
+    for p in paths:
+        if os.path.isdir(p):
+            for root, _dirs, files in os.walk(p):
+                for f in sorted(files):
+                    if f.endswith(".md"):
+                        yield os.path.join(root, f)
+        else:
+            yield p
+
+
+def check_file(path: str) -> list:
+    with open(path, "r", encoding="utf-8") as f:
+        raw = f.read()
+    text = CODE_FENCE_RE.sub("", raw)  # links inside code blocks are code
+    anchors = {anchor_of(h) for h in HEADING_RE.findall(text)}
+    base = os.path.dirname(path)
+
+    errors = []
+    external = 0
+    for m in LINK_RE.finditer(text):
+        target = m.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            external += 1
+            continue
+        if target.startswith("#"):
+            if target[1:] not in anchors:
+                errors.append(f"{path}: broken anchor {target}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = os.path.normpath(os.path.join(base, file_part))
+        if not os.path.exists(resolved):
+            errors.append(f"{path}: broken link {target} -> {resolved}")
+            continue
+        if anchor and resolved.endswith(".md"):
+            with open(resolved, "r", encoding="utf-8") as f:
+                other = CODE_FENCE_RE.sub("", f.read())
+            if anchor_of(anchor) not in {
+                anchor_of(h) for h in HEADING_RE.findall(other)
+            }:
+                errors.append(f"{path}: broken anchor {target}")
+    print(f"  {path}: {len(LINK_RE.findall(text))} links "
+          f"({external} external, not fetched)")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="+",
+                        help="markdown files or directories to scan")
+    args = parser.parse_args()
+
+    errors = []
+    for path in collect_files(args.paths):
+        errors.extend(check_file(path))
+
+    if errors:
+        print(f"\nFAIL: {len(errors)} broken link(s):")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print("\nall markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
