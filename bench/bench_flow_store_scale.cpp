@@ -15,7 +15,14 @@
 //      baseline);
 //   4. O(1) capacity eviction: a per-packet-spoofed admission flood at a
 //      full SFT (every admission evicts) stays flat per admission — the
-//      deadline-bucketed ring replaced the linear arena scan.
+//      deadline-bucketed ring replaced the linear arena scan — both on
+//      the legacy global ring and through the per-victim quota
+//      machinery (sft_victim_quota), where the flood is shaped so the
+//      cross-class payer walk (under-quota reclaim from the most
+//      over-quota class) fires every iteration, not just the self-pay
+//      fast path;
+//   5. sharded sim equivalence holds with per-victim quotas on as well
+//      as off (per-shard quota state is strictly shard-local).
 //
 // Sharding driver: one thread per shard when the hardware has the cores;
 // on smaller machines the shards run back-to-back on one core and the
@@ -90,9 +97,15 @@ sim::FlowLabel label_for(std::uint64_t i) {
 
 std::uint64_t key_for(std::uint64_t i) { return util::mix64(i + 1); }
 
+/// Best-of pass count shared by the single-stream tiers; the completeness
+/// checks in main()/run_scalar_baseline derive from it, so bumping it for
+/// noise cannot silently break the gate assertions.
+constexpr int kBestOfPasses = 3;
+
 /// Times `lookups` classify() calls over `population` resident keys.
-/// Best of three passes (rejects scheduler/frequency noise); `sink`
-/// defeats dead-code elimination.
+/// Best of five passes (rejects scheduler/frequency noise; three passes
+/// still flapped the 10% regression gate on shared/steal-prone boxes);
+/// `sink` defeats dead-code elimination.
 template <typename Tables>
 double time_classify(Tables& tables, std::uint64_t population,
                      std::uint64_t lookups, std::uint64_t* sink) {
@@ -102,7 +115,7 @@ double time_classify(Tables& tables, std::uint64_t population,
     acc += static_cast<std::uint64_t>(tables.classify(key_for(i)));
   }
   double best = 0;
-  for (int pass = 0; pass < 3; ++pass) {
+  for (int pass = 0; pass < 5; ++pass) {
     const double start = now_ns();
     for (std::uint64_t i = 0; i < lookups; ++i) {
       acc +=
@@ -216,13 +229,20 @@ InspectResult steady_state_inspect(std::uint64_t population,
 
   // Steady state: every packet hits a resolved flow — the full inspect()
   // datapath (hash, flat-store classify, forward) with zero admissions.
+  // Best of three passes (like time_classify): a single pass is at the
+  // mercy of scheduler/frequency noise and flaps the regression gate.
   InspectResult out;
   const std::uint64_t allocs_before = g_allocs.load();
-  const double start = now_ns();
-  for (std::uint64_t i = 0; i < packets; ++i) {
-    send_one(i % population);
+  double best = 0;
+  for (int pass = 0; pass < kBestOfPasses; ++pass) {
+    const double start = now_ns();
+    for (std::uint64_t i = 0; i < packets; ++i) {
+      send_one(i % population);
+    }
+    const double elapsed = now_ns() - start;
+    if (pass == 0 || elapsed < best) best = elapsed;
   }
-  out.ns_per_packet = (now_ns() - start) / static_cast<double>(packets);
+  out.ns_per_packet = best / static_cast<double>(packets);
   out.allocs = g_allocs.load() - allocs_before;
   return out;
 }
@@ -393,21 +413,27 @@ double run_scalar_baseline(std::uint64_t total_flows, int rounds,
   core::FilterEngine& eng = fx.filter->engine(0);
   const std::vector<sim::Packet>& stream = fx.stream[0];
 
+  // Best of three passes, like the other single-stream tiers.
   const std::uint64_t allocs_before = g_allocs.load();
   std::uint64_t fwd = 0;
-  const double start = now_ns();
-  for (int r = 0; r < rounds; ++r) {
-    for (const sim::Packet& p : stream) {
-      fwd += eng.inspect(p) == core::EngineVerdict::kForward ? 1 : 0;
+  double best = 0;
+  for (int pass = 0; pass < kBestOfPasses; ++pass) {
+    const double start = now_ns();
+    for (int r = 0; r < rounds; ++r) {
+      for (const sim::Packet& p : stream) {
+        fwd += eng.inspect(p) == core::EngineVerdict::kForward ? 1 : 0;
+      }
     }
+    const double elapsed = now_ns() - start;
+    if (pass == 0 || elapsed < best) best = elapsed;
   }
-  const double elapsed = now_ns() - start;
   *allocs_steady = g_allocs.load() - allocs_before;
-  if (fwd != stream.size() * static_cast<std::uint64_t>(rounds)) {
+  if (fwd !=
+      stream.size() * static_cast<std::uint64_t>(rounds) * kBestOfPasses) {
     std::fprintf(stderr, "FAIL: scalar steady state dropped packets\n");
     std::exit(1);
   }
-  return elapsed / (static_cast<double>(stream.size()) * rounds);
+  return best / (static_cast<double>(stream.size()) * rounds);
 }
 
 /// O(1)-eviction check: admissions into a full SFT, where every admission
@@ -428,21 +454,104 @@ double run_admission_flood(std::uint64_t admissions,
     now += 1e-6;
   }
 
+  // Best of three passes; the churn is stationary (every admission
+  // evicts), so repeated passes measure the same steady state.
   const std::uint64_t allocs_before = g_allocs.load();
-  const double start = now_ns();
-  for (std::uint64_t i = 0; i < admissions; ++i, ++k) {
-    tables.admit_sft(key_for(k), label_for(k), now, window);
+  double best = 0;
+  for (int pass = 0; pass < kBestOfPasses; ++pass) {
+    const double start = now_ns();
+    for (std::uint64_t i = 0; i < admissions; ++i, ++k) {
+      tables.admit_sft(key_for(k), label_for(k), now, window);
+      now += 1e-6;
+    }
+    const double elapsed = now_ns() - start;
+    if (pass == 0 || elapsed < best) best = elapsed;
+  }
+  *allocs_steady = g_allocs.load() - allocs_before;
+  return best / static_cast<double>(admissions);
+}
+
+/// The same full-table flood through the per-victim quota machinery, built
+/// to keep the cross-class payer walk hot in steady state (a symmetric
+/// round-robin flood would settle with every class at its reservation and
+/// self-pay forever, never pricing the O(classes) reclaim): victim 0
+/// holds the whole table (far over its quota) while victims 1..3 cycle
+/// instantly-expiring single probations, so every iteration runs one
+/// under-quota admission (EvictCause::kQuota — the most-over-quota walk
+/// reclaims a slot from victim 0) plus one eviction-free refill admission
+/// for victim 0. Returns ns per admission (two per iteration); asserts
+/// via *quota_evictions that the reclaim path actually ran every time.
+double run_admission_flood_quota(std::uint64_t iterations,
+                                 std::uint64_t* allocs_steady,
+                                 std::uint64_t* quota_evictions) {
+  core::MaficConfig cfg;
+  cfg.sft_capacity = 4096;
+  cfg.sft_victim_quota = 0.125;  // 512 reserved per victim, 2048 shared
+  cfg.nft_revalidation_interval = 1e-9;  // cycled probations expire at once
+  core::FlowTables tables(cfg);
+
+  constexpr std::size_t kVictims = 4;
+  std::vector<util::Addr> victims;
+  for (std::size_t v = 0; v < kVictims; ++v) {
+    victims.push_back(util::make_addr(172, 17, 0, std::uint8_t(1 + v)));
+  }
+  tables.set_victim_classes(victims);
+
+  const auto label_to = [&](std::uint64_t i, std::size_t victim) {
+    sim::FlowLabel l = label_for(i);
+    l.dst = victims[victim];
+    return l;
+  };
+
+  // Victim 0 floods the whole table: 4096 live, 3584 over its quota.
+  std::uint64_t k = 0;
+  double now = 0.0;
+  const double window = 0.08;
+  for (; k < cfg.sft_capacity; ++k) {
+    tables.admit_sft(key_for(k), label_to(k, 0), now, window);
     now += 1e-6;
   }
-  const double elapsed = now_ns() - start;
+
+  // One cycled key per under-quota victim; admitted, resolved into an
+  // instantly-expiring NFT record, lazily expired and re-admitted.
+  // mix64 is a bijection, so inputs far above key_for's range (k + 1,
+  // bounded by the iteration count) can never collide with flood keys.
+  const std::uint64_t cycle_key[3] = {util::mix64((1ull << 40) + 1),
+                                      util::mix64((1ull << 40) + 2),
+                                      util::mix64((1ull << 40) + 3)};
+
+  // Best of three passes over the same stationary reclaim/refill churn.
+  const std::uint64_t allocs_before = g_allocs.load();
+  double best = 0;
+  for (int pass = 0; pass < kBestOfPasses; ++pass) {
+    const double start = now_ns();
+    for (std::uint64_t i = 0; i < iterations; ++i, ++k) {
+      const std::size_t uv = 1 + (i % 3);
+      const std::uint64_t ck = cycle_key[uv - 1];
+      tables.classify(ck, now);  // lazily expire the previous NFT record
+      // Under-quota admission at a full table: the payer walk reclaims a
+      // slot from victim 0 (the only class over its reservation).
+      tables.admit_sft(ck, label_to(i, uv), now, window);
+      tables.resolve(ck, core::TableKind::kNice, now);
+      // Refill: victim 0 takes the freed slot back, eviction-free.
+      tables.admit_sft(key_for(k), label_to(k, 0), now, window);
+      now += 1e-6;
+    }
+    const double elapsed = now_ns() - start;
+    if (pass == 0 || elapsed < best) best = elapsed;
+  }
   *allocs_steady = g_allocs.load() - allocs_before;
-  return elapsed / static_cast<double>(admissions);
+  *quota_evictions = tables.stats().quota_evictions;
+  return best / static_cast<double>(2 * iterations);
 }
 
 /// End-to-end sharded-simulation gate: a fixed-seed figure-bench-shaped
 /// run with num_shards = 4 and burst links must make classification
-/// decisions identical to the scalar (num_shards = 1) path. Returns true
-/// when the decisions match.
+/// decisions identical to the scalar (num_shards = 1) path — once with
+/// the legacy global eviction ring and once with per-victim quotas on
+/// (extra victim + sft_victim_quota; per-shard quota accounting is
+/// shard-local, so the sums must stay deterministic). Returns true when
+/// both comparisons match.
 bool check_sim_sharded_equivalence() {
   scenario::ExperimentConfig base;
   base.seed = 42;
@@ -451,31 +560,42 @@ bool check_sim_sharded_equivalence() {
   base.end_time = 6.0;
   base.link_burst_size = 8;
 
-  const auto run = [&](std::size_t shards) {
-    scenario::ExperimentConfig cfg = base;
-    cfg.num_shards = shards;
-    scenario::Experiment exp(cfg);
-    return exp.run();
-  };
-  const scenario::ExperimentResult scalar = run(1);
-  const scenario::ExperimentResult sharded = run(4);
+  bool all_ok = true;
+  for (const bool quotas : {false, true}) {
+    const auto run = [&](std::size_t shards) {
+      scenario::ExperimentConfig cfg = base;
+      cfg.num_shards = shards;
+      if (quotas) {
+        cfg.extra_victims = 1;
+        cfg.sft_victim_quota = 0.25;
+      }
+      scenario::Experiment exp(cfg);
+      return exp.run();
+    };
+    const scenario::ExperimentResult scalar = run(1);
+    const scenario::ExperimentResult sharded = run(4);
 
-  const bool ok =
-      scalar.sft_admissions == sharded.sft_admissions &&
-      scalar.moved_to_nft == sharded.moved_to_nft &&
-      scalar.moved_to_pdt == sharded.moved_to_pdt &&
-      scalar.screened_sources == sharded.screened_sources &&
-      scalar.probes_issued == sharded.probes_issued &&
-      scalar.events_processed == sharded.events_processed &&
-      scalar.sft_admissions > 0;
-  std::printf("\nsharded sim equivalence (burst=8): scalar %llu->NFT "
-              "%llu->PDT vs 4-shard %llu->NFT %llu->PDT: %s\n",
-              static_cast<unsigned long long>(scalar.moved_to_nft),
-              static_cast<unsigned long long>(scalar.moved_to_pdt),
-              static_cast<unsigned long long>(sharded.moved_to_nft),
-              static_cast<unsigned long long>(sharded.moved_to_pdt),
-              ok ? "identical" : "DIVERGED");
-  return ok;
+    const bool ok =
+        scalar.sft_admissions == sharded.sft_admissions &&
+        scalar.sft_evictions == sharded.sft_evictions &&
+        scalar.quota_evictions == sharded.quota_evictions &&
+        scalar.moved_to_nft == sharded.moved_to_nft &&
+        scalar.moved_to_pdt == sharded.moved_to_pdt &&
+        scalar.screened_sources == sharded.screened_sources &&
+        scalar.probes_issued == sharded.probes_issued &&
+        scalar.events_processed == sharded.events_processed &&
+        scalar.sft_admissions > 0;
+    std::printf("\nsharded sim equivalence (burst=8, quotas %s): scalar "
+                "%llu->NFT %llu->PDT vs 4-shard %llu->NFT %llu->PDT: %s\n",
+                quotas ? "on" : "off",
+                static_cast<unsigned long long>(scalar.moved_to_nft),
+                static_cast<unsigned long long>(scalar.moved_to_pdt),
+                static_cast<unsigned long long>(sharded.moved_to_nft),
+                static_cast<unsigned long long>(sharded.moved_to_pdt),
+                ok ? "identical" : "DIVERGED");
+    all_ok = all_ok && ok;
+  }
+  return all_ok;
 }
 
 }  // namespace
@@ -592,8 +712,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.allocs_steady));
     char name[32];
     std::snprintf(name, sizeof(name), "shard_batch_s%zu", shards);
+    // Tagged with the execution mode so the regression gate compares
+    // threaded rows (CI runners) only against threaded rows, and serial
+    // projections (one-core dev boxes) only against serial projections.
     records.push_back({"bench_flow_store_scale", name, double(kShardFlows),
-                       1e9 / r.aggregate_pps, bench::read_vm_rss_kb()});
+                       1e9 / r.aggregate_pps, bench::read_vm_rss_kb(),
+                       r.threaded ? 1 : 0});
     if (r.allocs_steady != 0) {
       std::fprintf(stderr,
                    "FAIL: inspect_batch allocated at %zu shards\n", shards);
@@ -618,6 +742,38 @@ int main(int argc, char** argv) {
                      flood_ns, bench::read_vm_rss_kb()});
   if (flood_allocs != 0) {
     std::fprintf(stderr, "FAIL: admission flood allocated\n");
+    ok = false;
+  }
+
+  // Same flood through the per-victim quota accounting, shaped so every
+  // iteration runs the cross-class payer walk (an under-quota victim
+  // reclaiming from the most over-quota class) plus a refill admission:
+  // the quota machinery must stay O(1) and allocation-free, and the
+  // kQuota path must actually fire every iteration.
+  std::uint64_t quota_flood_allocs = 0;
+  std::uint64_t quota_flood_reclaims = 0;
+  const std::uint64_t kQuotaIters = 1'000'000;
+  const double quota_flood_ns = run_admission_flood_quota(
+      kQuotaIters, &quota_flood_allocs, &quota_flood_reclaims);
+  std::printf("SFT admission flood, per-victim quotas (4 classes, "
+              "under-quota reclaim + refill): %.2f ns/admission, "
+              "%llu kQuota reclaims, %llu allocs\n",
+              quota_flood_ns,
+              static_cast<unsigned long long>(quota_flood_reclaims),
+              static_cast<unsigned long long>(quota_flood_allocs));
+  records.push_back({"bench_flow_store_scale", "sft_admission_flood_quota",
+                     4096, quota_flood_ns, bench::read_vm_rss_kb()});
+  if (quota_flood_allocs != 0) {
+    std::fprintf(stderr, "FAIL: quota admission flood allocated\n");
+    ok = false;
+  }
+  if (quota_flood_reclaims != std::uint64_t(kBestOfPasses) * kQuotaIters) {
+    std::fprintf(stderr,
+                 "FAIL: quota flood ran %llu cross-class reclaims, "
+                 "expected %llu (payer walk not exercised)\n",
+                 static_cast<unsigned long long>(quota_flood_reclaims),
+                 static_cast<unsigned long long>(std::uint64_t(kBestOfPasses) *
+                                                 kQuotaIters));
     ok = false;
   }
 

@@ -21,6 +21,13 @@ struct BenchRecord {
   double flows = 0;   ///< resident-flow tier (0 when not applicable)
   double ns_per_packet = 0;
   double rss_kb = 0;  ///< VmRSS at measurement (0 when unavailable)
+  /// Execution mode tag for multi-shard rows: 1 = real threads (one per
+  /// shard), 0 = serial projection (shards ran back-to-back, aggregate is
+  /// the contention-free sum), -1 = untagged (single-stream series; the
+  /// field is omitted from the JSON). The regression gate groups by this
+  /// tag so a CI runner's threaded row is never compared against a
+  /// one-core dev box's serial projection of the same tier.
+  int threaded = -1;
 };
 
 /// Current resident set size in kB from /proc/self/status; 0 off-Linux.
@@ -75,11 +82,16 @@ inline void append_records(const char* path,
   if (!fresh) std::fputs(",\n", f);
   for (std::size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
+    char threads[24] = "";
+    if (r.threaded >= 0) {
+      std::snprintf(threads, sizeof(threads), ", \"threads\": %s",
+                    r.threaded != 0 ? "true" : "false");
+    }
     std::fprintf(f,
                  "  {\"bench\": \"%s\", \"name\": \"%s\", \"flows\": %.0f, "
-                 "\"ns_per_packet\": %.2f, \"rss_kb\": %.0f}%s\n",
+                 "\"ns_per_packet\": %.2f, \"rss_kb\": %.0f%s}%s\n",
                  r.bench.c_str(), r.name.c_str(), r.flows, r.ns_per_packet,
-                 r.rss_kb, i + 1 < records.size() ? "," : "");
+                 r.rss_kb, threads, i + 1 < records.size() ? "," : "");
   }
   std::fputs("]\n", f);
   std::fclose(f);

@@ -115,6 +115,23 @@ struct MaficConfig {
   /// 512 covers the widest paper window (2 x max_rtt) with headroom.
   std::size_t sft_eviction_ring_buckets = 512;
 
+  /// Per-victim SFT filtering budget. 0 (default) keeps the legacy
+  /// behaviour: one global eviction ring, so at capacity a flood aimed at
+  /// one protected destination can recycle another destination's
+  /// probations before their 2 x RTT deadlines. When > 0 each protected
+  /// destination becomes a victim class with its own eviction ring and a
+  /// reserved quota of SFT slots: values in (0, 1] are a fraction of
+  /// sft_capacity per victim, values > 1 are absolute slots per victim
+  /// (either way clamped so the summed quotas never exceed sft_capacity).
+  /// Slots beyond the summed quotas form a shared overflow pool. At
+  /// capacity the admitting victim pays from its own ring while at/over
+  /// quota; an under-quota victim instead reclaims a slot from the most
+  /// over-quota class (draining overflow users back toward their
+  /// reservations pro-rata), so no flood can push a victim below its
+  /// quota. Takes effect when FilterEngine::activate registers the victim
+  /// set with the tables.
+  double sft_victim_quota = 0.0;
+
   /// Reject sources whose address is illegal (outside every registered
   /// subnet) or unreachable (never allocated) straight into the PDT.
   bool address_screening = true;

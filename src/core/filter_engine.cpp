@@ -15,15 +15,36 @@ FilterEngine::FilterEngine(MaficConfig cfg, Clock* clock,
       rtt_(cfg_),
       policy_(policy),
       rng_(rng) {
-  // Probations leaving the SFT without a decision (capacity eviction or
-  // flush) must not leave their probe/decision timers armed: the stale
-  // callbacks could fire into a *new* probation of the same key.
-  tables_.set_eviction_hook(
-      [this](const SftEntry& e) { cancel_entry_timers(e); });
+  // Probations leaving the SFT without a decision (capacity/quota
+  // eviction or flush) must not leave their probe/decision timers armed:
+  // the stale callbacks could fire into a *new* probation of the same
+  // key. Capacity-class exits are also charged to the evicted entry's
+  // victim, so multi-victim runs can see whose probations a flood
+  // recycled (flushes are administrative, not attack pressure).
+  tables_.set_eviction_hook([this](const SftEntry& e, EvictCause cause) {
+    cancel_entry_timers(e);
+    if (cause == EvictCause::kFlush) return;
+    VictimStats& vs = victim_stats_[e.label.dst];
+    ++vs.evictions;
+    if (cause == EvictCause::kQuota) ++vs.quota_evictions;
+  });
+  // A flow under probation keeps its RTT estimate: recycling the slot
+  // mid-probation would silently re-window the flow's *next* probation
+  // from default_rtt even though the estimator had converged.
+  rtt_.set_pin_check(
+      [this](std::uint64_t key) { return tables_.find_sft(key) != nullptr; });
 }
 
 void FilterEngine::activate(const VictimSet& victims) {
   for (const auto v : victims) victims_.insert(v);
+  if (cfg_.sft_victim_quota > 0.0) {
+    // Register the victim classes for per-victim SFT quotas. Sorted so
+    // class indices are identical no matter how the set iterates — the
+    // scalar-vs-sharded equivalence relies on every engine agreeing.
+    std::vector<util::Addr> sorted(victims_.begin(), victims_.end());
+    std::sort(sorted.begin(), sorted.end());
+    tables_.set_victim_classes(sorted);
+  }
   active_ = true;
   refresh();
 }

@@ -70,6 +70,14 @@ class FilterEngine {
     std::uint64_t decided_nice = 0;
     std::uint64_t decided_malicious = 0;
     std::uint64_t screened_sources = 0;
+    /// Probations of this victim evicted at SFT capacity before their
+    /// deadline (flushes excluded). Nonzero for a victim whose own flood
+    /// churns the table; with quotas on it stays zero for a victim whose
+    /// working set fits inside its reserved slots.
+    std::uint64_t evictions = 0;
+    /// Subset of `evictions` where this victim, over its quota, paid a
+    /// slot back for another victim's admission (EvictCause::kQuota).
+    std::uint64_t quota_evictions = 0;
   };
 
   /// Invoked when a probation resolves; receives the resolved entry and

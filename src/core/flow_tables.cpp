@@ -35,19 +35,109 @@ const char* to_string(TableKind k) noexcept {
   return "?";
 }
 
+const char* to_string(EvictCause c) noexcept {
+  switch (c) {
+    case EvictCause::kCapacity:
+      return "capacity";
+    case EvictCause::kQuota:
+      return "quota";
+    case EvictCause::kFlush:
+      return "flush";
+  }
+  return "?";
+}
+
 FlowTables::FlowTables(const MaficConfig& cfg)
     : cfg_(cfg),
       store_(cfg.sft_capacity + cfg.nft_capacity + cfg.pdt_capacity,
              cfg.flow_store_max_load),
       ring_res_(cfg.timer_wheel_resolution > 0.0 ? cfg.timer_wheel_resolution
                                                  : 0.0005) {
+  ring_reset(ring0_);
+  class_quota_.assign(1, 0);
+}
+
+void FlowTables::ring_reset(Ring& r) {
   const std::size_t buckets = pow2_at_least(
-      cfg.sft_eviction_ring_buckets < kMaxRingBuckets
-          ? cfg.sft_eviction_ring_buckets
+      cfg_.sft_eviction_ring_buckets < kMaxRingBuckets
+          ? cfg_.sft_eviction_ring_buckets
           : kMaxRingBuckets);
-  ring_head_.assign(buckets, kNoSlot);
-  ring_tail_.assign(buckets, kNoSlot);
-  ring_occ_.assign(buckets / 64, 0);
+  r.head.assign(buckets, kNoSlot);
+  r.tail.assign(buckets, kNoSlot);
+  r.occ.assign(buckets / 64, 0);
+  r.cursor = 0;
+  r.live = 0;
+}
+
+std::uint32_t FlowTables::class_of(util::Addr dst) const noexcept {
+  if (class_victims_.empty()) return 0;
+  const auto it =
+      std::lower_bound(class_victims_.begin(), class_victims_.end(), dst);
+  if (it != class_victims_.end() && *it == dst) {
+    return static_cast<std::uint32_t>(it - class_victims_.begin());
+  }
+  return 0;  // unregistered destinations share the first class
+}
+
+void FlowTables::set_victim_classes(const std::vector<util::Addr>& victims) {
+  std::vector<util::Addr> sorted = victims;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  if (cfg_.sft_victim_quota <= 0.0 || sorted.size() < 2) sorted.clear();
+  if (sorted == class_victims_) return;  // repeated activate: no-op
+
+  class_victims_ = std::move(sorted);
+  const std::size_t n = std::max<std::size_t>(1, class_victims_.size());
+  ring_reset(ring0_);
+  extra_rings_.resize(n - 1);
+  for (Ring& r : extra_rings_) ring_reset(r);
+  class_quota_.assign(n, 0);
+  if (n > 1) {
+    std::size_t quota =
+        cfg_.sft_victim_quota <= 1.0
+            ? static_cast<std::size_t>(cfg_.sft_victim_quota *
+                                       static_cast<double>(cfg_.sft_capacity))
+            : static_cast<std::size_t>(cfg_.sft_victim_quota);
+    // Summed reservations must fit in the table, or an under-quota victim
+    // could find nobody over quota to reclaim from and fall back to
+    // evicting another under-quota victim — the bug quotas exist to fix.
+    quota = std::min(quota, cfg_.sft_capacity / n);
+    class_quota_.assign(n, quota);
+  }
+
+  // Re-ring every live probation under the new classes (activation can
+  // extend the victim set while probations are in flight) in ascending
+  // deadline order: the first insert into an empty ring seeds its
+  // cursor, and any earlier-deadline entry inserted after it would clamp
+  // up to that cursor — flattening deadline order into arena order and
+  // breaking nearest-deadline eviction.
+  std::fill(ring_next_.begin(), ring_next_.end(), kNoSlot);
+  std::fill(ring_prev_.begin(), ring_prev_.end(), kNoSlot);
+  std::vector<std::uint32_t> live;
+  for (std::uint32_t slot = 0; slot < arena_.size(); ++slot) {
+    if (arena_live_[slot] != 0) live.push_back(slot);
+  }
+  std::sort(live.begin(), live.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              if (arena_[a].deadline != arena_[b].deadline) {
+                return arena_[a].deadline < arena_[b].deadline;
+              }
+              return a < b;
+            });
+  for (const std::uint32_t slot : live) {
+    const std::uint32_t cls = class_of(arena_[slot].label.dst);
+    ring_insert(ring_at(cls), cls, slot, arena_[slot].deadline);
+  }
+}
+
+std::size_t FlowTables::sft_size_of(util::Addr victim) const noexcept {
+  return ring_at(class_of(victim)).live;
+}
+
+std::size_t FlowTables::ring_occupancy() const noexcept {
+  std::size_t n = ring0_.live;
+  for (const Ring& r : extra_rings_) n += r.live;
+  return n;
 }
 
 TableKind FlowTables::classify(std::uint64_t key, double now) {
@@ -81,6 +171,7 @@ std::uint32_t FlowTables::alloc_arena_slot() {
     ring_next_.resize(grown, kNoSlot);
     ring_prev_.resize(grown, kNoSlot);
     slot_tick_.resize(grown, 0);
+    slot_class_.resize(grown, 0);
     for (std::size_t i = grown; i > old; --i) {
       arena_free_.push_back(static_cast<std::uint32_t>(i - 1));
     }
@@ -96,45 +187,52 @@ void FlowTables::free_arena_slot(std::uint32_t slot) noexcept {
   arena_free_.push_back(slot);
 }
 
-// --- deadline-bucketed eviction ring ------------------------------------
+// --- deadline-bucketed eviction rings -----------------------------------
 
-void FlowTables::ring_insert(std::uint32_t slot, double deadline) {
+void FlowTables::ring_insert(Ring& r, std::uint32_t cls, std::uint32_t slot,
+                             double deadline) {
+  assert(&r == &ring_at(cls));
   std::uint64_t tick = sim::TimerWheel::quantize(deadline, ring_res_);
-  if (ring_live_ == 0) {
-    ring_cursor_ = tick;
-  } else if (tick < ring_cursor_) {
-    // Earlier than every live probation: treat as due now. The cursor is
-    // a lower bound on live ticks; rewinding it would shrink the span
-    // available to the entries already ringed.
-    tick = ring_cursor_;
-  } else if (tick - ring_cursor_ >= ring_head_.size()) {
-    ring_seek();  // tighten the lower bound before paying for growth
-    if (tick - ring_cursor_ >= ring_head_.size()) {
-      if (tick - ring_cursor_ < kMaxRingBuckets) {
-        ring_grow(static_cast<std::size_t>(tick - ring_cursor_) + 1);
+  if (r.live == 0) {
+    r.cursor = tick;
+  } else if (tick < r.cursor) {
+    // Earlier than every live probation of this class: treat as due now.
+    // The cursor is a lower bound on live ticks; rewinding it would
+    // shrink the span available to the entries already ringed.
+    tick = r.cursor;
+  } else if (tick - r.cursor >= r.head.size()) {
+    ring_seek(r);  // tighten the lower bound before paying for growth
+    if (tick - r.cursor >= r.head.size()) {
+      if (tick - r.cursor < kMaxRingBuckets) {
+        ring_grow(r, static_cast<std::size_t>(tick - r.cursor) + 1);
       } else {
-        tick = ring_cursor_ + ring_head_.size() - 1;  // far-future clamp
+        tick = r.cursor + r.head.size() - 1;  // far-future clamp
       }
     }
   }
 
-  const std::size_t mask = ring_head_.size() - 1;
+  const std::size_t mask = r.head.size() - 1;
   const std::size_t idx = static_cast<std::size_t>(tick) & mask;
   slot_tick_[slot] = tick;
+  slot_class_[slot] = cls;
   ring_next_[slot] = kNoSlot;
-  ring_prev_[slot] = ring_tail_[idx];
-  if (ring_tail_[idx] != kNoSlot) {
-    ring_next_[ring_tail_[idx]] = slot;
+  ring_prev_[slot] = r.tail[idx];
+  if (r.tail[idx] != kNoSlot) {
+    ring_next_[r.tail[idx]] = slot;
   } else {
-    ring_head_[idx] = slot;
-    ring_occ_[idx >> 6] |= 1ull << (idx & 63);
+    r.head[idx] = slot;
+    r.occ[idx >> 6] |= 1ull << (idx & 63);
   }
-  ring_tail_[idx] = slot;
-  ++ring_live_;
+  r.tail[idx] = slot;
+  ++r.live;
 }
 
 void FlowTables::ring_unlink(std::uint32_t slot) noexcept {
-  const std::size_t mask = ring_head_.size() - 1;
+  ring_unlink_in(ring_at(slot_class_[slot]), slot);
+}
+
+void FlowTables::ring_unlink_in(Ring& r, std::uint32_t slot) noexcept {
+  const std::size_t mask = r.head.size() - 1;
   const std::size_t idx =
       static_cast<std::size_t>(slot_tick_[slot]) & mask;
   const std::uint32_t p = ring_prev_[slot];
@@ -142,41 +240,45 @@ void FlowTables::ring_unlink(std::uint32_t slot) noexcept {
   if (p != kNoSlot) {
     ring_next_[p] = n;
   } else {
-    ring_head_[idx] = n;
+    r.head[idx] = n;
   }
   if (n != kNoSlot) {
     ring_prev_[n] = p;
   } else {
-    ring_tail_[idx] = p;
+    r.tail[idx] = p;
   }
-  if (ring_head_[idx] == kNoSlot) {
-    ring_occ_[idx >> 6] &= ~(1ull << (idx & 63));
+  if (r.head[idx] == kNoSlot) {
+    r.occ[idx >> 6] &= ~(1ull << (idx & 63));
   }
   ring_prev_[slot] = ring_next_[slot] = kNoSlot;
-  --ring_live_;
+  --r.live;
 }
 
 void FlowTables::ring_clear() noexcept {
-  std::fill(ring_head_.begin(), ring_head_.end(), kNoSlot);
-  std::fill(ring_tail_.begin(), ring_tail_.end(), kNoSlot);
-  std::fill(ring_occ_.begin(), ring_occ_.end(), 0);
-  ring_live_ = 0;
+  const auto clear_one = [](Ring& r) {
+    std::fill(r.head.begin(), r.head.end(), kNoSlot);
+    std::fill(r.tail.begin(), r.tail.end(), kNoSlot);
+    std::fill(r.occ.begin(), r.occ.end(), 0);
+    r.live = 0;
+  };
+  clear_one(ring0_);
+  for (Ring& r : extra_rings_) clear_one(r);
 }
 
-void FlowTables::ring_seek() noexcept {
-  assert(ring_live_ > 0);
-  const std::size_t buckets = ring_head_.size();
+void FlowTables::ring_seek(Ring& r) noexcept {
+  assert(r.live > 0);
+  const std::size_t buckets = r.head.size();
   const std::size_t mask = buckets - 1;
-  const std::size_t start = static_cast<std::size_t>(ring_cursor_) & mask;
+  const std::size_t start = static_cast<std::size_t>(r.cursor) & mask;
   std::size_t advance = 0;
   while (advance < buckets) {
     const std::size_t i = (start + advance) & mask;
     const unsigned bit = i & 63;
-    const std::uint64_t w = ring_occ_[i >> 6] & (~0ull << bit);
+    const std::uint64_t w = r.occ[i >> 6] & (~0ull << bit);
     if (w != 0) {
       advance += std::countr_zero(w) - bit;
       if (advance >= buckets) break;  // found bit is before `start`
-      ring_cursor_ += advance;
+      r.cursor += advance;
       return;
     }
     advance += 64 - bit;
@@ -184,19 +286,19 @@ void FlowTables::ring_seek() noexcept {
   assert(false && "ring_seek with live entries but empty bitmap");
 }
 
-void FlowTables::ring_grow(std::size_t min_buckets) {
-  std::size_t buckets = pow2_at_least(ring_head_.size() * 2);
+void FlowTables::ring_grow(Ring& r, std::size_t min_buckets) {
+  std::size_t buckets = pow2_at_least(r.head.size() * 2);
   while (buckets < min_buckets) buckets *= 2;
   if (buckets > kMaxRingBuckets) buckets = kMaxRingBuckets;
   // Walk the OLD bucket lists to relink (slot ticks are kept). Scanning
   // arena_live_ instead would also pick up a slot that is mid-admission —
   // allocated but not yet ringed — and link it with a stale tick.
-  std::vector<std::uint32_t> old_head = std::move(ring_head_);
-  ring_head_.assign(buckets, kNoSlot);
-  ring_tail_.assign(buckets, kNoSlot);
-  ring_occ_.assign(buckets / 64, 0);
-  const std::size_t live = ring_live_;
-  ring_live_ = 0;
+  std::vector<std::uint32_t> old_head = std::move(r.head);
+  r.head.assign(buckets, kNoSlot);
+  r.tail.assign(buckets, kNoSlot);
+  r.occ.assign(buckets / 64, 0);
+  const std::size_t live = r.live;
+  r.live = 0;
   const std::size_t mask = buckets - 1;
   for (const std::uint32_t head : old_head) {
     std::uint32_t slot = head;
@@ -205,39 +307,90 @@ void FlowTables::ring_grow(std::size_t min_buckets) {
       const std::size_t idx =
           static_cast<std::size_t>(slot_tick_[slot]) & mask;
       ring_next_[slot] = kNoSlot;
-      ring_prev_[slot] = ring_tail_[idx];
-      if (ring_tail_[idx] != kNoSlot) {
-        ring_next_[ring_tail_[idx]] = slot;
+      ring_prev_[slot] = r.tail[idx];
+      if (r.tail[idx] != kNoSlot) {
+        ring_next_[r.tail[idx]] = slot;
       } else {
-        ring_head_[idx] = slot;
-        ring_occ_[idx >> 6] |= 1ull << (idx & 63);
+        r.head[idx] = slot;
+        r.occ[idx >> 6] |= 1ull << (idx & 63);
       }
-      ring_tail_[idx] = slot;
-      ++ring_live_;
+      r.tail[idx] = slot;
+      ++r.live;
       slot = next;
     }
   }
-  assert(ring_live_ == live);
+  assert(r.live == live);
   (void)live;
 }
 
-void FlowTables::evict_oldest_probation() {
-  // Evict the probation closest to (or past) its deadline; it has had the
-  // most chance to be judged already. The ring hands us the first
+void FlowTables::evict_from_class(std::uint32_t cls, EvictCause cause) {
+  // Evict the class's probation closest to (or past) its deadline; it has
+  // had the most chance to be judged already. The ring hands us the first
   // occupied deadline bucket in O(1) amortized (the cursor only moves
   // forward), instead of a linear arena scan per admission.
-  assert(ring_live_ > 0);
-  ring_seek();
-  const std::size_t mask = ring_head_.size() - 1;
+  Ring& r = ring_at(cls);
+  assert(r.live > 0);
+  ring_seek(r);
+  const std::size_t mask = r.head.size() - 1;
   const std::uint32_t victim =
-      ring_head_[static_cast<std::size_t>(ring_cursor_) & mask];
+      r.head[static_cast<std::size_t>(r.cursor) & mask];
   assert(victim != kNoSlot);
-  if (on_evicted_) on_evicted_(arena_[victim]);
+  if (on_evicted_) on_evicted_(arena_[victim], cause);
   store_.erase(arena_[victim].key);
-  ring_unlink(victim);
+  ring_unlink_in(r, victim);
   free_arena_slot(victim);
   --sft_count_;
   ++stats_.sft_evictions;
+  if (cause == EvictCause::kQuota) ++stats_.quota_evictions;
+}
+
+void FlowTables::evict_for_admission(std::uint32_t cls) {
+  // Quota mode only: the single-class fast path dispatches straight to
+  // evict_from_class at the admit_sft call site.
+  assert(!extra_rings_.empty());
+  const auto classes = static_cast<std::uint32_t>(victim_classes());
+  // The admitting victim pays from its own quota first: while at/over its
+  // reservation, its own nearest-deadline probation goes.
+  const Ring& own = ring_at(cls);
+  if (own.live >= class_quota_[cls] && own.live > 0) {
+    evict_from_class(cls, EvictCause::kCapacity);
+    return;
+  }
+  // Under quota: the admission is entitled to a reserved slot, so an
+  // over-quota class gives one back. Draining the most overdrawn class
+  // first shrinks overflow users toward their reservations pro-rata
+  // (equal quotas -> equal steady-state overflow shares).
+  std::uint32_t payer = kNoSlot;
+  std::size_t payer_over = 0;
+  for (std::uint32_t c = 0; c < classes; ++c) {
+    const std::size_t live = ring_at(c).live;
+    if (live <= class_quota_[c]) continue;
+    const std::size_t over = live - class_quota_[c];
+    if (payer == kNoSlot || over > payer_over) {
+      payer = c;
+      payer_over = over;
+    }
+  }
+  if (payer != kNoSlot) {
+    evict_from_class(payer, EvictCause::kQuota);
+    return;
+  }
+  // Unreachable while summed quotas <= sft_capacity (a full table with
+  // every class within quota leaves no room for an under-quota admitter);
+  // kept as a defensive fallback: globally nearest deadline.
+  std::uint32_t pick = kNoSlot;
+  std::uint64_t pick_tick = 0;
+  for (std::uint32_t c = 0; c < classes; ++c) {
+    Ring& r = ring_at(c);
+    if (r.live == 0) continue;
+    ring_seek(r);
+    if (pick == kNoSlot || r.cursor < pick_tick) {
+      pick = c;
+      pick_tick = r.cursor;
+    }
+  }
+  assert(pick != kNoSlot);
+  evict_from_class(pick, EvictCause::kCapacity);
 }
 
 void FlowTables::evict_any(TableKind kind) {
@@ -268,7 +421,19 @@ SftEntry* FlowTables::admit_sft(std::uint64_t key,
                                 double window_seconds) {
   if (classify(key) != TableKind::kNone) return nullptr;
 
-  if (sft_count_ >= cfg_.sft_capacity) evict_oldest_probation();
+  // Quotas off (no registered classes) keeps the pre-quota call shape:
+  // cls is the constant 0 and capacity eviction is one direct call — the
+  // per-packet-spoofed flood pays nothing for the machinery it isn't
+  // using. The class lookup and the quota walk only run in quota mode.
+  std::uint32_t cls = 0;
+  if (!class_victims_.empty()) cls = class_of(label.dst);
+  if (sft_count_ >= cfg_.sft_capacity) {
+    if (extra_rings_.empty()) {
+      evict_from_class(0, EvictCause::kCapacity);
+    } else {
+      evict_for_admission(cls);
+    }
+  }
 
   const std::uint32_t slot = alloc_arena_slot();
   SftEntry& e = arena_[slot];
@@ -278,7 +443,7 @@ SftEntry* FlowTables::admit_sft(std::uint64_t key,
   e.entry_time = now;
   e.split_time = now + window_seconds / 2.0;
   e.deadline = now + window_seconds;
-  ring_insert(slot, e.deadline);
+  ring_insert(ring_at(cls), cls, slot, e.deadline);
 
   auto [record, inserted] = store_.insert(key);
   assert(inserted);
@@ -341,7 +506,8 @@ void FlowTables::add_pdt_direct(std::uint64_t key) {
 
 void FlowTables::flush() {
   if (on_evicted_) {
-    for_each_sft([this](const SftEntry& e) { on_evicted_(e); });
+    for_each_sft(
+        [this](const SftEntry& e) { on_evicted_(e, EvictCause::kFlush); });
   }
   store_.clear();
   arena_free_.clear();

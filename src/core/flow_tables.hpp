@@ -42,6 +42,17 @@ enum class TableKind : std::uint8_t {
 
 const char* to_string(TableKind k) noexcept;
 
+/// Why a probation left the SFT without being resolved (eviction hook).
+enum class EvictCause : std::uint8_t {
+  kCapacity,  ///< table full; the admitting victim class paid from its
+              ///< own ring (or quotas are disabled and the ring is global)
+  kQuota,     ///< table full; an over-quota class gave a slot back so an
+              ///< under-quota victim could admit (cross-victim payment)
+  kFlush,     ///< "End dropping & flush all tables" (Fig. 2 exit arc)
+};
+
+const char* to_string(EvictCause c) noexcept;
+
 /// Probation record for one suspicious flow.
 struct SftEntry {
   std::uint64_t key = 0;
@@ -63,6 +74,9 @@ class FlowTables {
   struct Stats {
     std::uint64_t sft_admissions = 0;
     std::uint64_t sft_evictions = 0;
+    std::uint64_t quota_evictions = 0;  ///< subset of sft_evictions where
+                                        ///< an over-quota class paid for
+                                        ///< another victim's admission
     std::uint64_t moved_to_nft = 0;
     std::uint64_t moved_to_pdt = 0;
     std::uint64_t direct_pdt = 0;  ///< illegal/unreachable screening
@@ -71,10 +85,36 @@ class FlowTables {
   };
 
   /// Invoked whenever a probation leaves the SFT *without* being resolved
-  /// (capacity eviction or flush); gives the owner a chance to cancel the
-  /// entry's pending probe/decision timers.
-  using EvictionHook = std::function<void(const SftEntry&)>;
+  /// (capacity/quota eviction or flush); gives the owner a chance to
+  /// cancel the entry's pending probe/decision timers and to attribute
+  /// the eviction to the entry's victim.
+  using EvictionHook = std::function<void(const SftEntry&, EvictCause)>;
   void set_eviction_hook(EvictionHook hook) { on_evicted_ = std::move(hook); }
+
+  /// Registers the protected destinations as victim classes for the
+  /// per-victim quota machinery (MaficConfig::sft_victim_quota). With the
+  /// quota disabled — or fewer than two victims — everything collapses
+  /// into one shared class (the legacy global ring). Victims are sorted
+  /// internally so class indices are deterministic regardless of caller
+  /// order (the scalar-vs-sharded equivalence depends on this). Live
+  /// probations are re-ringed under the new classes; destinations outside
+  /// the registered set share class 0. Idempotent for a repeated set.
+  void set_victim_classes(const std::vector<util::Addr>& victims);
+
+  /// Number of victim classes (1 when quotas are off / unregistered).
+  std::size_t victim_classes() const noexcept {
+    return 1 + extra_rings_.size();
+  }
+  /// Reserved SFT slots per victim class (0 when quotas are off).
+  std::size_t quota_slots() const noexcept {
+    return class_quota_.empty() ? 0 : class_quota_.front();
+  }
+  /// Live probations belonging to `victim`'s class (its ring occupancy).
+  /// With quotas off every destination shares the single class, so this
+  /// reports sft_size(); unregistered destinations report class 0's.
+  std::size_t sft_size_of(util::Addr victim) const noexcept;
+  /// Live probations across every class ring; always equals sft_size().
+  std::size_t ring_occupancy() const noexcept;
 
   /// Current table of `key`. When NFT revalidation is enabled, an expired
   /// NFT entry is lazily removed and the key reports kNone, sending the
@@ -155,29 +195,50 @@ class FlowTables {
     double nft_expiry = 0.0;           ///< expiry stamp (kNice only)
   };
 
+  // --- deadline-bucketed eviction rings --------------------------------
+  // Live probations hang off per-victim-class rings of FIFO buckets keyed
+  // by their deadline quantized to the timer wheel's tick
+  // (TimerWheel::quantize), so capacity eviction pops the nearest-deadline
+  // probation of the paying class in O(1) amortized instead of scanning
+  // the arena. Matters under per-packet-spoofed floods (ablation A5),
+  // where every admission at a full SFT evicts. Each ring's `cursor` is a
+  // monotone lower bound on its minimum live tick; all of a ring's live
+  // ticks fit in [cursor, cursor + buckets), the ring doubling (rare) or
+  // the far-future clamp keeping that invariant. With quotas off there is
+  // exactly one ring and the behaviour is the legacy global ordering.
+  struct Ring {
+    std::vector<std::uint32_t> head;  ///< per-bucket FIFO head slot
+    std::vector<std::uint32_t> tail;
+    std::vector<std::uint64_t> occ;   ///< bucket occupancy bitmap
+    std::uint64_t cursor = 0;
+    std::size_t live = 0;
+  };
+
   std::uint32_t alloc_arena_slot();
   void free_arena_slot(std::uint32_t slot) noexcept;
-  /// Evicts the probation closest to (or past) its deadline — O(1)
-  /// amortized via the deadline-bucketed ring below.
-  void evict_oldest_probation();
+  /// Victim class of a destination; 0 when quotas are off/unregistered.
+  std::uint32_t class_of(util::Addr dst) const noexcept;
+  /// Frees one SFT slot so class `cls` can admit (quota mode only; the
+  /// single-class path calls evict_from_class directly): the admitter
+  /// pays from its own ring while at/over quota, otherwise the most
+  /// over-quota class pays (EvictCause::kQuota) — O(classes) worst case.
+  void evict_for_admission(std::uint32_t cls);
+  /// Evicts the nearest-deadline probation of class `cls`.
+  void evict_from_class(std::uint32_t cls, EvictCause cause);
   /// Evicts an arbitrary resident entry of `kind` (NFT/PDT bound guard).
   void evict_any(TableKind kind);
 
-  // --- deadline-bucketed eviction ring ---------------------------------
-  // Live probations hang off a ring of FIFO buckets keyed by their
-  // deadline quantized to the timer wheel's tick (TimerWheel::quantize),
-  // so capacity eviction pops the nearest-deadline probation in O(1)
-  // amortized instead of scanning the arena. Matters under per-packet-
-  // spoofed floods (ablation A5), where every admission at a full SFT
-  // evicts. `ring_cursor_` is a monotone lower bound on the minimum live
-  // tick; all live ticks fit in [cursor, cursor + buckets), the ring
-  // doubling (rare) or the far-future clamp keeping that invariant.
-  void ring_insert(std::uint32_t slot, double deadline);
-  void ring_unlink(std::uint32_t slot) noexcept;
+  void ring_reset(Ring& r);  ///< (re)sizes to the configured bucket count
+  /// `r` must be rings_[cls] — resolved once by the caller so the hot
+  /// admit/evict path pays the rings_ indirection once per operation.
+  void ring_insert(Ring& r, std::uint32_t cls, std::uint32_t slot,
+                   double deadline);
+  void ring_unlink(std::uint32_t slot) noexcept;  ///< resolves slot's ring
+  void ring_unlink_in(Ring& r, std::uint32_t slot) noexcept;
   void ring_clear() noexcept;
-  /// Advances ring_cursor_ to the minimum occupied tick; ring_live_ > 0.
-  void ring_seek() noexcept;
-  void ring_grow(std::size_t min_buckets);
+  /// Advances r.cursor to the minimum occupied tick; requires r.live > 0.
+  void ring_seek(Ring& r) noexcept;
+  void ring_grow(Ring& r, std::size_t min_buckets);
 
   const MaficConfig& cfg_;
   util::FlatTable<FlowRecord> store_;
@@ -191,15 +252,26 @@ class FlowTables {
   EvictionHook on_evicted_;
   Stats stats_;
 
-  double ring_res_;                       ///< tick width (wheel resolution)
-  std::vector<std::uint32_t> ring_head_;  ///< per-bucket FIFO head slot
-  std::vector<std::uint32_t> ring_tail_;
-  std::vector<std::uint64_t> ring_occ_;   ///< bucket occupancy bitmap
-  std::vector<std::uint32_t> ring_next_;  ///< per-arena-slot bucket links
+  /// Ring of victim class `cls`. Class 0 lives inline in the object so
+  /// the quotas-off hot path (exactly one class) touches no extra
+  /// indirection vs the pre-quota single-ring layout; extra classes only
+  /// exist in multi-victim quota mode, off the flood-critical default.
+  Ring& ring_at(std::uint32_t cls) noexcept {
+    return cls == 0 ? ring0_ : extra_rings_[cls - 1];
+  }
+  const Ring& ring_at(std::uint32_t cls) const noexcept {
+    return cls == 0 ? ring0_ : extra_rings_[cls - 1];
+  }
+
+  double ring_res_;                 ///< tick width (wheel resolution)
+  Ring ring0_;                      ///< class 0 (the only ring, quotas off)
+  std::vector<Ring> extra_rings_;   ///< classes 1..n-1 (quota mode only)
+  std::vector<util::Addr> class_victims_;  ///< sorted; empty = one class
+  std::vector<std::size_t> class_quota_;   ///< reserved slots per class
+  std::vector<std::uint32_t> ring_next_;   ///< per-arena-slot bucket links
   std::vector<std::uint32_t> ring_prev_;
-  std::vector<std::uint64_t> slot_tick_;  ///< per-arena-slot deadline tick
-  std::uint64_t ring_cursor_ = 0;
-  std::size_t ring_live_ = 0;
+  std::vector<std::uint64_t> slot_tick_;   ///< per-slot deadline tick
+  std::vector<std::uint32_t> slot_class_;  ///< per-slot victim class
 };
 
 }  // namespace mafic::core

@@ -22,6 +22,7 @@
 /// (test_core_rtt_flat pins this against a reference map).
 
 #include <cstdint>
+#include <functional>
 
 #include "core/config.hpp"
 #include "util/flat_table.hpp"
@@ -33,7 +34,18 @@ class RttEstimator {
   explicit RttEstimator(const MaficConfig& cfg)
       : cfg_(cfg), flows_(cfg.rtt_capacity, cfg.flow_store_max_load) {}
 
+  /// Marks keys that must not be recycled at capacity (the engine pins
+  /// flows with an *active probation*: their estimate backs the live
+  /// probation window and would otherwise be lost mid-probation, sending
+  /// the flow's next window back to default_rtt). Checked only on the
+  /// cold recycle path; unset (the default) pins nothing.
+  using PinCheck = std::function<bool(std::uint64_t)>;
+  void set_pin_check(PinCheck pin) { pinned_ = std::move(pin); }
+
   /// Feeds one timestamp-echo sample (now - tsecr) for a flow key.
+  /// At capacity an unpinned resident estimate is recycled to make room;
+  /// if every resident estimate is pinned the sample is dropped instead
+  /// (the new flow stays at default_rtt until a slot frees up).
   void observe(std::uint64_t key, double raw_sample) {
     if (raw_sample <= 0.0) return;
     const double corrected = raw_sample * cfg_.rtt_correction;
@@ -44,7 +56,7 @@ class RttEstimator {
       e->value += cfg_.rtt_ewma_alpha * (corrected - e->value);
       return;
     }
-    if (flows_.size() >= flows_.max_entries()) recycle_one();
+    if (flows_.size() >= flows_.max_entries() && !recycle_one()) return;
     flows_.insert(key).first->value = corrected;
   }
 
@@ -73,24 +85,30 @@ class RttEstimator {
     double value = 0.0;
   };
 
-  /// Capacity bound hit: drop an arbitrary resident estimate, rotating
-  /// through the table so no flow is recycled twice in a row. The evicted
-  /// flow falls back to default_rtt until its next usable echo.
-  void recycle_one() {
+  /// Capacity bound hit: drop an arbitrary *unpinned* resident estimate,
+  /// rotating through the table so no flow is recycled twice in a row.
+  /// The evicted flow falls back to default_rtt until its next usable
+  /// echo. Returns false — and recycles nothing — when every resident
+  /// estimate is pinned (a slot backing an active probation must survive
+  /// to the probation's decision).
+  bool recycle_one() {
     std::uint64_t victim = 0;
     const std::size_t at = flows_.scan(
         recycle_cursor_, [&](std::uint64_t key, const Estimate&) {
+          if (pinned_ && pinned_(key)) return false;
           victim = key;
           return true;
         });
-    if (at == util::FlatTable<Estimate>::kNpos) return;
+    if (at == util::FlatTable<Estimate>::kNpos) return false;
     recycle_cursor_ = at + 1;
     flows_.erase(victim);
     ++recycled_;
+    return true;
   }
 
   const MaficConfig& cfg_;
   util::FlatTable<Estimate> flows_;
+  PinCheck pinned_;
   std::size_t recycle_cursor_ = 0;
   std::uint64_t recycled_ = 0;
 };

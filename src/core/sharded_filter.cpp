@@ -129,6 +129,38 @@ FilterEngine::Stats ShardedFilter::aggregate_stats() const {
   return sum;
 }
 
+FlowTables::Stats ShardedFilter::aggregate_tables_stats() const {
+  FlowTables::Stats sum;
+  for (const auto* e : engines_) {
+    const FlowTables::Stats& st = e->tables().stats();
+    sum.sft_admissions += st.sft_admissions;
+    sum.sft_evictions += st.sft_evictions;
+    sum.quota_evictions += st.quota_evictions;
+    sum.moved_to_nft += st.moved_to_nft;
+    sum.moved_to_pdt += st.moved_to_pdt;
+    sum.direct_pdt += st.direct_pdt;
+    sum.nft_expirations += st.nft_expirations;
+    sum.flushes += st.flushes;
+  }
+  return sum;
+}
+
+FilterEngine::VictimStats ShardedFilter::victim_stats_for(
+    util::Addr victim) const {
+  FilterEngine::VictimStats sum;
+  for (const auto* e : engines_) {
+    const auto& per = e->victim_stats();
+    const auto it = per.find(victim);
+    if (it == per.end()) continue;
+    sum.decided_nice += it->second.decided_nice;
+    sum.decided_malicious += it->second.decided_malicious;
+    sum.screened_sources += it->second.screened_sources;
+    sum.evictions += it->second.evictions;
+    sum.quota_evictions += it->second.quota_evictions;
+  }
+  return sum;
+}
+
 std::size_t ShardedFilter::resident() const {
   std::size_t n = 0;
   for (const auto* e : engines_) n += e->tables().resident();

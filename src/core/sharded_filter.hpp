@@ -140,6 +140,14 @@ class ShardedFilter {
 
   /// Sums engine stats across shards.
   FilterEngine::Stats aggregate_stats() const;
+  /// Sums flow-table stats across shards. Per-shard quota accounting is
+  /// strictly shard-local (each shard registers the same victim classes
+  /// over its own ring set), so the sums are deterministic for a fixed
+  /// per-shard operation sequence — the property the scalar-vs-sharded
+  /// sim equivalence gate relies on with quotas enabled.
+  FlowTables::Stats aggregate_tables_stats() const;
+  /// Per-victim decision/eviction tally for `victim`, summed over shards.
+  FilterEngine::VictimStats victim_stats_for(util::Addr victim) const;
   /// Sums resident flows (all tables) across shards.
   std::size_t resident() const;
 

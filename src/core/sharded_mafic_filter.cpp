@@ -40,32 +40,12 @@ void ShardedMaficFilter::set_classification_callback(
 }
 
 FlowTables::Stats ShardedMaficFilter::tables_stats() const {
-  FlowTables::Stats sum;
-  for (std::size_t i = 0; i < sharded_.shard_count(); ++i) {
-    const FlowTables::Stats& st = sharded_.engine(i).tables().stats();
-    sum.sft_admissions += st.sft_admissions;
-    sum.sft_evictions += st.sft_evictions;
-    sum.moved_to_nft += st.moved_to_nft;
-    sum.moved_to_pdt += st.moved_to_pdt;
-    sum.direct_pdt += st.direct_pdt;
-    sum.nft_expirations += st.nft_expirations;
-    sum.flushes += st.flushes;
-  }
-  return sum;
+  return sharded_.aggregate_tables_stats();
 }
 
 FilterEngine::VictimStats ShardedMaficFilter::victim_stats_for(
     util::Addr victim) const {
-  FilterEngine::VictimStats sum;
-  for (std::size_t i = 0; i < sharded_.shard_count(); ++i) {
-    const auto& per = sharded_.engine(i).victim_stats();
-    const auto it = per.find(victim);
-    if (it == per.end()) continue;
-    sum.decided_nice += it->second.decided_nice;
-    sum.decided_malicious += it->second.decided_malicious;
-    sum.screened_sources += it->second.screened_sources;
-  }
-  return sum;
+  return sharded_.victim_stats_for(victim);
 }
 
 sim::InlineFilter::Decision ShardedMaficFilter::inspect(sim::Packet& p) {

@@ -41,6 +41,7 @@ Experiment::Experiment(ExperimentConfig cfg)
       rng_(cfg.seed),
       ledger_(cfg.series_bin_width) {
   cfg_.mafic.drop_probability = cfg_.drop_probability;
+  cfg_.mafic.sft_victim_quota = cfg_.sft_victim_quota;
   if (cfg_.num_shards > 0) {
     // The sharded adapter's scalar-vs-sharded equivalence needs
     // interleaving-independent Pd coins; seed them from the experiment
@@ -390,6 +391,8 @@ ExperimentResult Experiment::snapshot_result() const {
   for (const auto* f : mafic_filters_) {
     const auto& ts = f->tables().stats();
     r.sft_admissions += ts.sft_admissions;
+    r.sft_evictions += ts.sft_evictions;
+    r.quota_evictions += ts.quota_evictions;
     r.moved_to_nft += ts.moved_to_nft;
     r.moved_to_pdt += ts.moved_to_pdt;
     r.screened_sources += f->stats().screened_sources;
@@ -398,6 +401,8 @@ ExperimentResult Experiment::snapshot_result() const {
   for (const auto* f : sharded_filters_) {
     const auto ts = f->tables_stats();
     r.sft_admissions += ts.sft_admissions;
+    r.sft_evictions += ts.sft_evictions;
+    r.quota_evictions += ts.quota_evictions;
     r.moved_to_nft += ts.moved_to_nft;
     r.moved_to_pdt += ts.moved_to_pdt;
     const auto es = f->stats();
@@ -417,12 +422,16 @@ ExperimentResult Experiment::snapshot_result() const {
       b.decided_nice += it->second.decided_nice;
       b.decided_malicious += it->second.decided_malicious;
       b.screened_sources += it->second.screened_sources;
+      b.evictions += it->second.evictions;
+      b.quota_evictions += it->second.quota_evictions;
     }
     for (const auto* f : sharded_filters_) {
       const auto vs = f->victim_stats_for(v);
       b.decided_nice += vs.decided_nice;
       b.decided_malicious += vs.decided_malicious;
       b.screened_sources += vs.screened_sources;
+      b.evictions += vs.evictions;
+      b.quota_evictions += vs.quota_evictions;
     }
     r.per_victim.push_back(b);
   }

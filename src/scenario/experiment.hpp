@@ -118,8 +118,19 @@ struct ExperimentConfig {
   DefenseKind defense = DefenseKind::kMafic;
   TriggerMode trigger = TriggerMode::kScripted;
   AtrScope atr_scope = AtrScope::kAllIngress;
-  core::MaficConfig mafic{};  ///< Pd is overwritten from drop_probability
+  /// Pd and the SFT victim quota are overwritten from the top-level
+  /// drop_probability / sft_victim_quota knobs.
+  core::MaficConfig mafic{};
   baseline::AggregateLimiter::Config aggregate{};
+
+  /// Per-victim SFT filtering budget (core::MaficConfig::sft_victim_quota;
+  /// copied over mafic.sft_victim_quota like drop_probability). With
+  /// extra_victims >= 1 and a quota > 0, a capacity-saturating flood at
+  /// one victim can no longer recycle another victim's in-flight
+  /// probations — each protected destination keeps its reserved SFT
+  /// slots, and per-victim eviction counts land in
+  /// ExperimentResult::per_victim. 0 keeps the legacy global ring.
+  double sft_victim_quota = 0.0;
 
   /// Sharded ATR datapath. 0 (default) = the scalar MaficFilter at the
   /// head of each ingress uplink — the legacy, golden-pinned path.
@@ -165,6 +176,12 @@ struct VictimBreakdown {
   std::uint64_t decided_nice = 0;
   std::uint64_t decided_malicious = 0;
   std::uint64_t screened_sources = 0;
+  /// This victim's probations evicted at SFT capacity before deciding
+  /// (the cross-victim starvation signal; zero for a victim whose working
+  /// set fits its quota when sft_victim_quota > 0).
+  std::uint64_t evictions = 0;
+  /// Subset where this victim, over quota, paid for another victim.
+  std::uint64_t quota_evictions = 0;
 };
 
 struct ExperimentResult {
@@ -178,6 +195,8 @@ struct ExperimentResult {
 
   // Aggregated defense internals (across all filters).
   std::uint64_t sft_admissions = 0;
+  std::uint64_t sft_evictions = 0;
+  std::uint64_t quota_evictions = 0;
   std::uint64_t moved_to_nft = 0;
   std::uint64_t moved_to_pdt = 0;
   std::uint64_t screened_sources = 0;

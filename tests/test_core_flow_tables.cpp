@@ -147,10 +147,11 @@ TEST_F(FlowTablesTest, EvictionHookFiresOnCapacityEviction) {
   MaficConfig small;
   small.sft_capacity = 2;
   FlowTables t(small);
-  t.set_eviction_hook([](const SftEntry& e) {
+  t.set_eviction_hook([](const SftEntry& e, EvictCause cause) {
     // The owner cancels these timers; here we just record which entry
-    // was handed out.
+    // was handed out and why.
     EXPECT_EQ(e.key, 1u);
+    EXPECT_EQ(cause, EvictCause::kCapacity);
   });
   t.admit_sft(1, label(1), 0.0, 0.2);  // earliest deadline -> evicted
   t.admit_sft(2, label(2), 1.0, 0.2);
@@ -163,8 +164,10 @@ TEST_F(FlowTablesTest, EvictionHookFiresForEveryProbationOnFlush) {
   MaficConfig cfg2;
   FlowTables t(cfg2);
   std::vector<std::uint64_t> evicted;
-  t.set_eviction_hook(
-      [&](const SftEntry& e) { evicted.push_back(e.key); });
+  t.set_eviction_hook([&](const SftEntry& e, EvictCause cause) {
+    EXPECT_EQ(cause, EvictCause::kFlush);
+    evicted.push_back(e.key);
+  });
   t.admit_sft(1, label(1), 0.0, 0.2);
   t.admit_sft(2, label(2), 0.0, 0.2);
   t.add_pdt_direct(3);  // non-SFT entries have no timers: no hook
@@ -177,7 +180,8 @@ TEST_F(FlowTablesTest, ResolveHandsBackEntryWithoutHook) {
   // Resolution is the *decided* exit: the filter cancels timers itself in
   // decide(); the hook must not double-fire.
   int hook_calls = 0;
-  tables.set_eviction_hook([&](const SftEntry&) { ++hook_calls; });
+  tables.set_eviction_hook(
+      [&](const SftEntry&, EvictCause) { ++hook_calls; });
   tables.admit_sft(1, label(1), 0.0, 0.2);
   tables.resolve(1, TableKind::kNice);
   EXPECT_EQ(hook_calls, 0);

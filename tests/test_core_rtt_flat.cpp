@@ -141,5 +141,63 @@ TEST(FlatRttEstimator, CapacityRecyclesRoundRobin) {
   EXPECT_EQ(est.recycled(), 32u);
 }
 
+TEST(FlatRttEstimator, PinnedEstimatesSurviveRecycling) {
+  // The engine pins flows with an active probation: their estimate backs
+  // the live window and must not be recycled mid-probation. Round-robin
+  // recycling skips pinned slots and takes the next unpinned one.
+  MaficConfig cfg;
+  cfg.rtt_capacity = 64;
+  RttEstimator est(cfg);
+  std::unordered_map<std::uint64_t, bool> pinned;
+  est.set_pin_check([&](std::uint64_t key) {
+    const auto it = pinned.find(key);
+    return it != pinned.end() && it->second;
+  });
+
+  for (std::uint64_t k = 1; k <= 64; ++k) {
+    est.observe(k, 0.02);
+    pinned[k] = k <= 8;  // keys 1..8 are "under probation"
+  }
+  // Churn far past capacity: every displacement must land on an unpinned
+  // resident.
+  for (std::uint64_t k = 100; k < 300; ++k) est.observe(k, 0.03);
+  EXPECT_EQ(est.tracked_flows(), 64u);
+  for (std::uint64_t k = 1; k <= 8; ++k) {
+    EXPECT_TRUE(est.has_estimate(k)) << "pinned key " << k << " recycled";
+    EXPECT_DOUBLE_EQ(est.rtt(k), 0.04);
+  }
+
+  // Unpinning releases the slots to the normal round-robin again.
+  for (std::uint64_t k = 1; k <= 8; ++k) pinned[k] = false;
+  const std::uint64_t before = est.recycled();
+  for (std::uint64_t k = 300; k < 600; ++k) est.observe(k, 0.03);
+  EXPECT_EQ(est.recycled(), before + 300);
+  bool any_former_pin_gone = false;
+  for (std::uint64_t k = 1; k <= 8; ++k) {
+    any_former_pin_gone = any_former_pin_gone || !est.has_estimate(k);
+  }
+  EXPECT_TRUE(any_former_pin_gone);
+}
+
+TEST(FlatRttEstimator, AllPinnedDropsNewObservationInsteadOfRecycling) {
+  // Pathological bound: when every resident estimate backs an active
+  // probation there is nothing safe to recycle — the new sample is
+  // dropped (the flow reads default_rtt) rather than stealing a slot.
+  MaficConfig cfg;
+  cfg.rtt_capacity = 16;
+  RttEstimator est(cfg);
+  est.set_pin_check([](std::uint64_t) { return true; });
+  for (std::uint64_t k = 1; k <= 16; ++k) est.observe(k, 0.02);
+  EXPECT_EQ(est.tracked_flows(), 16u);
+
+  est.observe(999, 0.03);
+  EXPECT_FALSE(est.has_estimate(999));
+  EXPECT_EQ(est.rtt(999), cfg.default_rtt);
+  EXPECT_EQ(est.tracked_flows(), 16u);
+  EXPECT_EQ(est.recycled(), 0u);
+  // Every pre-existing estimate is intact.
+  for (std::uint64_t k = 1; k <= 16; ++k) EXPECT_TRUE(est.has_estimate(k));
+}
+
 }  // namespace
 }  // namespace mafic::core

@@ -7,6 +7,15 @@ can compare its fresh measurement against the previous one. This script
 fails (exit 1) when the newest entry of any tier is more than --threshold
 slower (ns/packet) than the entry before it.
 
+Multi-shard rows additionally carry a "threads" tag: true for real
+one-thread-per-shard measurements (CI runners with the cores), false for
+serial projections (shards run back-to-back on one core, aggregate = the
+contention-free sum). The two measure different things — a threaded row
+prices shared cache/memory-bandwidth contention, a serial row does not —
+so the gate keys tiers on the tag and only ever compares like with like.
+Rows from before the tag (or untagged single-stream series) form their
+own legacy group.
+
 Usage:
     tools/check_bench_regression.py BENCH_flow_store.json [--threshold 0.10]
 
@@ -41,15 +50,30 @@ def main() -> int:
         print(f"FAIL: {args.trajectory} is not valid JSON: {e}")
         return 1
 
-    tiers = defaultdict(list)  # (bench, name, flows) -> [ns_per_packet...]
+    def mode_tag(record):
+        """Execution-mode component of the tier key.
+
+        "threads" / "serial" for tagged multi-shard rows, "" for
+        single-stream series and for rows predating the tag (legacy rows
+        group together and never against tagged measurements).
+        """
+        threads = record.get("threads")
+        if threads is None:
+            return ""
+        return "threads" if threads else "serial"
+
+    # (bench, name, flows, mode) -> [ns_per_packet...]
+    tiers = defaultdict(list)
     for r in records:
-        key = (r.get("bench", "?"), r.get("name", "?"), r.get("flows", 0))
+        key = (r.get("bench", "?"), r.get("name", "?"), r.get("flows", 0),
+               mode_tag(r))
         tiers[key].append(float(r.get("ns_per_packet", 0.0)))
 
     failures = []
-    for (bench, name, flows), series in sorted(tiers.items()):
+    for (bench, name, flows, mode), series in sorted(tiers.items()):
+        tier = f"{bench}/{name}@{flows:.0f}" + (f"[{mode}]" if mode else "")
         if len(series) < 2:
-            print(f"  new    {bench}/{name}@{flows:.0f}: "
+            print(f"  new    {tier}: "
                   f"{series[-1]:.2f} ns/pkt (no previous entry)")
             continue
         prev, last = series[-2], series[-1]
@@ -59,18 +83,17 @@ def main() -> int:
         verdict = "ok"
         if delta > args.threshold:
             verdict = "REGRESSION"
-            failures.append((bench, name, flows, prev, last, delta))
+            failures.append((tier, prev, last, delta))
         elif delta < 0:
             verdict = "improved"
-        print(f"  {verdict:<10} {bench}/{name}@{flows:.0f}: "
+        print(f"  {verdict:<10} {tier}: "
               f"{prev:.2f} -> {last:.2f} ns/pkt ({delta:+.1%})")
 
     if failures:
         print(f"\nFAIL: {len(failures)} tier(s) regressed more than "
               f"{args.threshold:.0%}:")
-        for bench, name, flows, prev, last, delta in failures:
-            print(f"  {bench}/{name}@{flows:.0f}: "
-                  f"{prev:.2f} -> {last:.2f} ns/pkt ({delta:+.1%})")
+        for tier, prev, last, delta in failures:
+            print(f"  {tier}: {prev:.2f} -> {last:.2f} ns/pkt ({delta:+.1%})")
         return 1
     print("\nbench trajectory within tolerance")
     return 0
