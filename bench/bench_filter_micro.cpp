@@ -200,7 +200,11 @@ int main(int argc, char** argv) {
   JsonAppendReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
-  mafic::bench::append_records(mafic::bench::kFlowStoreJson,
-                               reporter.records());
+  // Stamp the machine-speed calibration so the trajectory gate can
+  // divide box-speed shifts out of cross-PR comparisons of these rows.
+  const double calib_ns = mafic::bench::measure_calibration();
+  auto records = reporter.records();
+  for (auto& r : records) r.calib_ns = calib_ns;
+  mafic::bench::append_records(mafic::bench::kFlowStoreJson, records);
   return 0;
 }

@@ -22,7 +22,11 @@
 //      over-quota class) fires every iteration, not just the self-pay
 //      fast path;
 //   5. sharded sim equivalence holds with per-victim quotas on as well
-//      as off (per-shard quota state is strictly shard-local).
+//      as off (per-shard quota state is strictly shard-local);
+//   6. the speculative threaded sim path (shard_threads > 0: per-shard
+//      sub-span fan-out to a worker pool + deterministic journal merge)
+//      produces verdicts bit-identical to the serial span walk, timed at
+//      0/2/4 workers in the sim_threaded_sweep tier.
 //
 // Sharding driver: one thread per shard when the hardware has the cores;
 // on smaller machines the shards run back-to-back on one core and the
@@ -598,6 +602,77 @@ bool check_sim_sharded_equivalence() {
   return all_ok;
 }
 
+/// Threaded-sim sweep: the same figure-bench-shaped scenario at
+/// shard_threads 0/2/4. Gates threaded-vs-serial verdict equivalence
+/// (the determinism contract of the journal merge) and records wall
+/// clock per simulated event in the trajectory — rows tagged with the
+/// threads convention so serial (t0) and threaded (t2/t4) tiers gate
+/// separately, like the shard_batch rows. Returns false on divergence.
+bool run_sim_threaded_sweep(std::vector<bench::BenchRecord>* records) {
+  scenario::ExperimentConfig base;
+  base.seed = 42;
+  base.total_flows = 32;
+  base.router_count = 12;
+  base.end_time = 6.0;
+  base.link_burst_size = 8;
+  base.num_shards = 4;
+
+  struct SweepRow {
+    std::size_t threads;
+    double ns_per_event;
+    scenario::ExperimentResult result;
+  };
+  std::vector<SweepRow> rows;
+  for (const std::size_t threads :
+       {std::size_t{0}, std::size_t{2}, std::size_t{4}}) {
+    double best = 0;
+    scenario::ExperimentResult result;
+    // Best of two full runs: the run is deterministic, so the repeat
+    // only rejects scheduler noise, never changes the result.
+    for (int pass = 0; pass < 2; ++pass) {
+      scenario::ExperimentConfig cfg = base;
+      cfg.shard_threads = threads;
+      scenario::Experiment exp(cfg);
+      exp.setup();
+      const double start = now_ns();
+      result = exp.run();
+      const double elapsed = now_ns() - start;
+      if (pass == 0 || elapsed < best) best = elapsed;
+    }
+    rows.push_back({threads, best / double(result.events_processed),
+                    std::move(result)});
+  }
+
+  bool all_ok = true;
+  std::printf("\nsim threaded sweep (4 shards, burst=8, hw threads: %u)\n",
+              std::thread::hardware_concurrency());
+  std::printf("%8s %14s %16s %10s\n", "workers", "ns/event",
+              "events", "verdicts");
+  const scenario::ExperimentResult& serial = rows.front().result;
+  for (const SweepRow& row : rows) {
+    const scenario::ExperimentResult& r = row.result;
+    const bool ok = r.sft_admissions == serial.sft_admissions &&
+                    r.sft_evictions == serial.sft_evictions &&
+                    r.moved_to_nft == serial.moved_to_nft &&
+                    r.moved_to_pdt == serial.moved_to_pdt &&
+                    r.screened_sources == serial.screened_sources &&
+                    r.probes_issued == serial.probes_issued &&
+                    r.events_processed == serial.events_processed &&
+                    r.sft_admissions > 0;
+    std::printf("%8zu %14.2f %16llu %10s\n", row.threads, row.ns_per_event,
+                static_cast<unsigned long long>(r.events_processed),
+                ok ? "identical" : "DIVERGED");
+    all_ok = all_ok && ok;
+    char name[32];
+    std::snprintf(name, sizeof(name), "sim_threaded_t%zu", row.threads);
+    records->push_back({"bench_flow_store_scale", name,
+                        double(base.total_flows), row.ns_per_event,
+                        bench::read_vm_rss_kb(),
+                        row.threads > 0 ? 1 : 0});
+  }
+  return all_ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -620,12 +695,49 @@ int main(int argc, char** argv) {
         ok = false;
       }
     }
+    // Small speculative-threaded sim pass: the full stack (partition,
+    // worker-pool fan-out, journal merge, replay) under TSan, gated on
+    // serial equivalence.
+    {
+      scenario::ExperimentConfig cfg;
+      cfg.seed = 11;
+      cfg.total_flows = 16;
+      cfg.router_count = 8;
+      cfg.end_time = 3.5;
+      cfg.link_burst_size = 8;
+      cfg.num_shards = 4;
+      scenario::Experiment serial_exp(cfg);
+      const scenario::ExperimentResult serial = serial_exp.run();
+      cfg.shard_threads = 4;
+      scenario::Experiment threaded_exp(cfg);
+      const scenario::ExperimentResult threaded = threaded_exp.run();
+      const bool same =
+          serial.events_processed == threaded.events_processed &&
+          serial.sft_admissions == threaded.sft_admissions &&
+          serial.probes_issued == threaded.probes_issued &&
+          serial.sft_admissions > 0;
+      std::printf("[smoke] threaded sim (4 workers): %llu events, %s\n",
+                  static_cast<unsigned long long>(threaded.events_processed),
+                  same ? "identical to serial" : "DIVERGED");
+      if (!same) {
+        std::fprintf(stderr, "FAIL: smoke threaded sim diverged\n");
+        ok = false;
+      }
+    }
     return ok ? 0 : 1;
   }
 
   std::uint64_t sink = 0;
   std::vector<bench::BenchRecord> records;
   bool ok = true;
+
+  // Machine-speed calibration, stamped onto every record so the
+  // trajectory gate can divide out box-speed shifts between PRs (the
+  // committed trajectory spans heterogeneous dev boxes; raw ns/packet
+  // comparisons across them measure the hardware, not the code).
+  const double calib_ns = bench::measure_calibration();
+  std::printf("machine calibration: %.3f ns/step (ALU + DRAM chase)\n",
+              calib_ns);
 
   std::printf("%10s %14s %14s %9s %16s\n", "flows", "flat ns/pkt",
               "map ns/pkt", "speedup", "steady allocs");
@@ -784,6 +896,14 @@ int main(int argc, char** argv) {
     ok = false;
   }
 
+  // ---- speculative threaded sim sweep ----------------------------------
+  if (!run_sim_threaded_sweep(&records)) {
+    std::fprintf(stderr,
+                 "FAIL: threaded sim verdicts diverged from serial\n");
+    ok = false;
+  }
+
+  for (auto& r : records) r.calib_ns = calib_ns;
   bench::append_records(bench::kFlowStoreJson, records);
   std::printf("(sink=%llu) results appended to %s\n",
               static_cast<unsigned long long>(sink), bench::kFlowStoreJson);

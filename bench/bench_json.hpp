@@ -6,9 +6,12 @@
 /// trajectory to compare against instead of eyeballing console tables.
 
 #include <cctype>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mafic::bench {
@@ -28,7 +31,72 @@ struct BenchRecord {
   /// tag so a CI runner's threaded row is never compared against a
   /// one-core dev box's serial projection of the same tier.
   int threaded = -1;
+  /// Machine-speed calibration of the producing run (ns for one step of
+  /// the fixed ALU + DRAM-latency reference workload, see
+  /// bench::measure_calibration). The regression gate divides a tier's
+  /// ns/packet shift by the calibration shift before comparing, so a
+  /// slower/faster box between PRs does not read as a code regression/
+  /// improvement. 0 = unrecorded (legacy rows; the gate treats the
+  /// first calibrated entry after them as a series rebase).
+  double calib_ns = 0;
 };
+
+/// Machine-speed reference: a serially-dependent mix64 chain (core ALU
+/// speed) plus a pointer-chase over a ~128 MB permutation cycle (DRAM
+/// latency) — the two bottlenecks the flow-store tiers blend. Returns
+/// the summed ns per step of both loops. Deterministic workload, no
+/// library code under test involved, so code changes cannot move it.
+inline double measure_calibration() {
+  using clock = std::chrono::steady_clock;
+  const auto ns_since = [](clock::time_point t0) {
+    return std::chrono::duration<double, std::nano>(clock::now() - t0)
+        .count();
+  };
+  // ALU: a dependent hash chain (no ILP), best of 3.
+  const auto mix = [](std::uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+  };
+  constexpr std::uint64_t kAluSteps = 20'000'000;
+  volatile std::uint64_t sink = 0;
+  double alu_best = 0;
+  for (int pass = 0; pass < 3; ++pass) {
+    std::uint64_t x = 0x9e3779b97f4a7c15ULL + std::uint64_t(pass);
+    const auto t0 = clock::now();
+    for (std::uint64_t i = 0; i < kAluSteps; ++i) x = mix(x);
+    const double ns = ns_since(t0);
+    sink = sink + x;
+    if (pass == 0 || ns < alu_best) alu_best = ns;
+  }
+  // DRAM latency: walk a random single-cycle permutation (Sattolo) over
+  // 32M uint32 slots; every step is a dependent cache-missing load.
+  constexpr std::size_t kSlots = 1u << 25;
+  std::vector<std::uint32_t> next(kSlots);
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    next[i] = static_cast<std::uint32_t>(i);
+  }
+  std::uint64_t rs = 0x5ca1ab1e;
+  for (std::size_t i = kSlots - 1; i > 0; --i) {
+    rs = mix(rs);
+    const std::size_t j = rs % i;  // Sattolo: j < i, one big cycle
+    std::swap(next[i], next[j]);
+  }
+  constexpr std::uint64_t kChaseSteps = 4'000'000;
+  double mem_best = 0;
+  std::uint32_t pos = 0;
+  for (int pass = 0; pass < 3; ++pass) {
+    const auto t0 = clock::now();
+    for (std::uint64_t i = 0; i < kChaseSteps; ++i) pos = next[pos];
+    const double ns = ns_since(t0);
+    sink = sink + pos;
+    if (pass == 0 || ns < mem_best) mem_best = ns;
+  }
+  return alu_best / double(kAluSteps) + mem_best / double(kChaseSteps);
+}
 
 /// Current resident set size in kB from /proc/self/status; 0 off-Linux.
 inline double read_vm_rss_kb() {
@@ -87,11 +155,17 @@ inline void append_records(const char* path,
       std::snprintf(threads, sizeof(threads), ", \"threads\": %s",
                     r.threaded != 0 ? "true" : "false");
     }
+    char calib[40] = "";
+    if (r.calib_ns > 0) {
+      std::snprintf(calib, sizeof(calib), ", \"calib_ns\": %.3f",
+                    r.calib_ns);
+    }
     std::fprintf(f,
                  "  {\"bench\": \"%s\", \"name\": \"%s\", \"flows\": %.0f, "
-                 "\"ns_per_packet\": %.2f, \"rss_kb\": %.0f%s}%s\n",
+                 "\"ns_per_packet\": %.2f, \"rss_kb\": %.0f%s%s}%s\n",
                  r.bench.c_str(), r.name.c_str(), r.flows, r.ns_per_packet,
-                 r.rss_kb, threads, i + 1 < records.size() ? "," : "");
+                 r.rss_kb, threads, calib,
+                 i + 1 < records.size() ? "," : "");
   }
   std::fputs("]\n", f);
   std::fclose(f);

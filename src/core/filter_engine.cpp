@@ -133,6 +133,26 @@ void FilterEngine::inspect_batch(const sim::Packet* const* pkts,
       out);
 }
 
+void FilterEngine::inspect_batch_keyed(const sim::Packet* const* pkts,
+                                       const std::uint64_t* keys,
+                                       const std::uint32_t* span_idx,
+                                       std::size_t n, EngineVerdict* out,
+                                       BatchSequencer* seq) {
+  constexpr std::size_t kWindow = 16;
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t m = std::min(kWindow, n - i);
+    for (std::size_t j = 0; j < m; ++j) tables_.prefetch(keys[i + j]);
+    for (std::size_t j = 0; j < m; ++j) {
+      if (seq != nullptr) seq->begin_packet(span_idx[i + j]);
+      // inspect_hashed (not inspect_keyed) so the active/victim/control
+      // gate is re-applied exactly as the serial sharded walk does.
+      out[i + j] = inspect_hashed(*pkts[i + j], keys[i + j]);
+    }
+    i += m;
+  }
+}
+
 bool FilterEngine::pd_coin(const sim::Packet& p, std::uint64_t key) {
   if (cfg_.coin_mode == CoinMode::kPacketHash) {
     const double pd = cfg_.drop_probability;

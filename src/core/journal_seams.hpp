@@ -1,0 +1,312 @@
+#pragma once
+
+/// \file journal_seams.hpp
+/// Buffering seam implementations for the speculative threaded shard
+/// path (sharded_mafic_filter.hpp). One ShardSeamJournal per shard plays
+/// TimerService + ProbeSink + BatchSequencer for that shard's engine:
+///
+///   * Outside a burst (control plane, timer callbacks) it is a thin
+///     passthrough to the underlying seams — the shard behaves exactly
+///     as if it were wired to them directly.
+///   * Between begin_burst()/end_burst() — while the shard's sub-span
+///     runs on a worker thread — every seam call is RECORDED instead of
+///     executed, tagged with the original span index of the packet that
+///     produced it (via BatchSequencer::begin_packet). The driving
+///     thread then interleaves the per-shard journals by span index and
+///     replays the ops literally, reproducing the exact underlying-seam
+///     call sequence a serial in-order walk of the whole span would have
+///     made. Same schedule order => same same-tick firing order on the
+///     wheel => the timer, probe and callback streams are bit-identical
+///     to the serial path.
+///
+/// Timer ids survive the deferral through a generation-tagged slot
+/// table: schedule_at returns a slot handle immediately (the engine
+/// stores it in the SftEntry), the slot resolves to the real underlying
+/// id once the merge applies the schedule, and the callback handed to
+/// the underlying service is a 16-byte trampoline (inline-storable in
+/// TimerFn) that releases the slot before running the engine's callback.
+/// Slots mirror underlying liveness exactly — every fire and cancel
+/// passes through here — so cancel/reschedule can answer truthfully from
+/// worker threads without touching the underlying wheel, and stale
+/// handles (ABA across slot reuse) are rejected by the generation check,
+/// matching sim::TimerWheel's own id semantics.
+///
+/// Thread contract: one journal belongs to one shard. Worker threads
+/// touch it only between begin_burst/end_burst and only from the single
+/// worker running that shard's sub-span; the driving thread owns it the
+/// rest of the time (handoff ordering is the worker pool's fan-out/join,
+/// see shard_worker_pool.hpp). The underlying seams are only ever called
+/// from the driving thread.
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "core/engine_seams.hpp"
+#include "core/flow_tables.hpp"
+#include "sim/packet.hpp"
+#include "sim/types.hpp"
+
+namespace mafic::core {
+
+class ShardSeamJournal final : public TimerService,
+                               public ProbeSink,
+                               public BatchSequencer {
+ public:
+  enum class OpKind : std::uint8_t {
+    kTimerSchedule,
+    kTimerCancel,
+    kTimerReschedule,
+    kProbe,
+    kOffered,
+    kClassified,
+  };
+
+  /// One recorded seam side effect. Per-packet ops appear in the journal
+  /// in issue order; packets appear in sub-span (= ascending span index)
+  /// order, which is what lets the merge interleave shards with a single
+  /// forward pass.
+  struct Op {
+    std::uint32_t span = 0;  ///< original span index of the packet
+    OpKind kind = OpKind::kTimerSchedule;
+    std::uint32_t slot = 0;              ///< timer ops: slot index
+    sim::TimerId id = sim::kInvalidTimer;  ///< cancel/reschedule handle
+    double time = 0.0;                   ///< reschedule target
+    const sim::Packet* pkt = nullptr;    ///< offered (alive until merge)
+    sim::FlowLabel flow{};               ///< probe
+    SftEntry entry{};                    ///< classified (resolved copy)
+    TableKind dest = TableKind::kNone;   ///< classified destination
+  };
+
+  /// Both underlying seams are non-owning and must outlive the journal.
+  ShardSeamJournal(TimerService* timers, ProbeSink* probes)
+      : timers_(timers), probes_(probes) {}
+
+  ShardSeamJournal(const ShardSeamJournal&) = delete;
+  ShardSeamJournal& operator=(const ShardSeamJournal&) = delete;
+
+  // --- burst lifecycle (driving thread only) ---------------------------
+  void begin_burst() {
+    assert(ops_.empty() && "previous burst's journal not drained");
+    buffering_ = true;
+  }
+  void end_burst() { buffering_ = false; }
+  bool buffering() const noexcept { return buffering_; }
+
+  const std::vector<Op>& ops() const noexcept { return ops_; }
+  void clear_ops() { ops_.clear(); }
+
+  /// Replays one journaled timer op against the underlying service
+  /// (driving thread, after end_burst). Ops must be applied in journal
+  /// order per shard, interleaved across shards by span index.
+  void apply_timer(const Op& op) {
+    switch (op.kind) {
+      case OpKind::kTimerSchedule: {
+        Slot& s = slots_[op.slot];
+        assert(s.state == Slot::kBuffered);
+        s.real = timers_->schedule_at(
+            s.time, make_trampoline(op.slot, s.gen));
+        s.state = Slot::kArmed;
+        return;
+      }
+      case OpKind::kTimerCancel: {
+        const std::uint32_t idx = index_of(op.id);
+        Slot& s = slots_[idx];
+        assert(s.state == Slot::kArmed && s.cancel_queued);
+        timers_->cancel(s.real);
+        release(idx);
+        return;
+      }
+      case OpKind::kTimerReschedule: {
+        const std::uint32_t idx = index_of(op.id);
+        Slot& s = slots_[idx];
+        if (s.gen != gen_of(op.id) || s.state != Slot::kArmed ||
+            s.cancel_queued) {
+          return;  // raced with a later journaled cancel; already settled
+        }
+        timers_->reschedule(s.real, op.time);
+        return;
+      }
+      default:
+        assert(false && "apply_timer called with a non-timer op");
+    }
+  }
+
+  /// Live timer slots (armed or buffered) — diagnostics for tests.
+  std::size_t live_slots() const noexcept {
+    return slots_.size() - free_.size();
+  }
+
+  // --- callback journaling (worker thread, buffering only) -------------
+  void record_offered(const sim::Packet& p) {
+    Op op;
+    op.span = current_span_;
+    op.kind = OpKind::kOffered;
+    op.pkt = &p;
+    ops_.push_back(op);
+  }
+  void record_classified(const SftEntry& e, TableKind dest) {
+    Op op;
+    op.span = current_span_;
+    op.kind = OpKind::kClassified;
+    op.entry = e;
+    op.dest = dest;
+    ops_.push_back(op);
+  }
+
+  // --- TimerService ----------------------------------------------------
+  sim::TimerId schedule_at(double t, TimerFn fn) override {
+    const std::uint32_t idx = alloc_slot();
+    Slot& s = slots_[idx];
+    s.fn = std::move(fn);
+    s.time = t;
+    if (buffering_) {
+      s.state = Slot::kBuffered;
+      Op op;
+      op.span = current_span_;
+      op.kind = OpKind::kTimerSchedule;
+      op.slot = idx;
+      ops_.push_back(op);
+    } else {
+      s.real = timers_->schedule_at(t, make_trampoline(idx, s.gen));
+      s.state = Slot::kArmed;
+    }
+    return make_id(idx, s.gen);
+  }
+
+  bool cancel(sim::TimerId id) override {
+    const std::uint32_t idx = index_of(id);
+    if (idx >= slots_.size()) return false;
+    Slot& s = slots_[idx];
+    if (s.gen != gen_of(id) || s.state == Slot::kFree) return false;
+    if (buffering_) {
+      if (s.cancel_queued) return false;  // second cancel: already revoked
+      // A kBuffered slot was scheduled earlier in this same burst; the
+      // literal replay will put it on the wheel and immediately revoke
+      // it, exactly as a serial walk would have.
+      s.cancel_queued = true;
+      Op op;
+      op.span = current_span_;
+      op.kind = OpKind::kTimerCancel;
+      op.id = id;
+      ops_.push_back(op);
+      return true;
+    }
+    assert(s.state == Slot::kArmed);
+    const bool revoked = timers_->cancel(s.real);
+    release(idx);
+    return revoked;
+  }
+
+  bool reschedule(sim::TimerId id, double t) override {
+    const std::uint32_t idx = index_of(id);
+    if (idx >= slots_.size()) return false;
+    Slot& s = slots_[idx];
+    if (s.gen != gen_of(id) || s.state == Slot::kFree) return false;
+    if (buffering_) {
+      if (s.cancel_queued) return false;
+      Op op;
+      op.span = current_span_;
+      op.kind = OpKind::kTimerReschedule;
+      op.id = id;
+      op.time = t;
+      ops_.push_back(op);
+      return true;
+    }
+    assert(s.state == Slot::kArmed);
+    return timers_->reschedule(s.real, t);
+  }
+
+  // --- ProbeSink -------------------------------------------------------
+  /// Never actually hit from worker threads today (probes are requested
+  /// from timer callbacks, which only fire on the driving thread), but
+  /// buffered defensively so the seam contract holds if that changes.
+  void send_probe(const sim::FlowLabel& flow) override {
+    if (buffering_) {
+      Op op;
+      op.span = current_span_;
+      op.kind = OpKind::kProbe;
+      op.flow = flow;
+      ops_.push_back(op);
+      return;
+    }
+    probes_->send_probe(flow);
+  }
+
+  /// The underlying sink, for the merge to replay journaled probes into.
+  ProbeSink* underlying_probes() const noexcept { return probes_; }
+
+  // --- BatchSequencer --------------------------------------------------
+  void begin_packet(std::uint32_t span_index) override {
+    current_span_ = span_index;
+  }
+
+ private:
+  struct Slot {
+    enum State : std::uint8_t { kFree, kBuffered, kArmed };
+    TimerFn fn;
+    double time = 0.0;
+    sim::TimerId real = sim::kInvalidTimer;
+    std::uint32_t gen = 1;
+    State state = kFree;
+    bool cancel_queued = false;
+  };
+
+  /// Slot handle layout: generation in the high 32 bits, index+1 in the
+  /// low 32 (the +1 keeps every handle != sim::kInvalidTimer).
+  static sim::TimerId make_id(std::uint32_t idx, std::uint32_t gen) noexcept {
+    return (static_cast<sim::TimerId>(gen) << 32) | (idx + 1);
+  }
+  static std::uint32_t index_of(sim::TimerId id) noexcept {
+    return static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+  }
+  static std::uint32_t gen_of(sim::TimerId id) noexcept {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  std::uint32_t alloc_slot() {
+    if (!free_.empty()) {
+      const std::uint32_t idx = free_.back();
+      free_.pop_back();
+      return idx;
+    }
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  void release(std::uint32_t idx) {
+    Slot& s = slots_[idx];
+    s.fn = TimerFn{};
+    s.real = sim::kInvalidTimer;
+    ++s.gen;  // outstanding handles to this slot are now stale
+    s.state = Slot::kFree;
+    s.cancel_queued = false;
+    free_.push_back(idx);
+  }
+
+  /// 16-byte fire trampoline: releases the slot (so the engine's own
+  /// stale-cancel of a fired timer is a clean miss), then runs the
+  /// engine's callback. Fits TimerFn's inline storage, so the underlying
+  /// wheel stays allocation-free.
+  TimerFn make_trampoline(std::uint32_t idx, std::uint32_t gen) {
+    return [this, idx, gen] {
+      Slot& s = slots_[idx];
+      if (s.gen != gen || s.state != Slot::kArmed) return;
+      TimerFn fn = std::move(s.fn);
+      release(idx);
+      fn();
+    };
+  }
+
+  TimerService* timers_;
+  ProbeSink* probes_;
+
+  bool buffering_ = false;
+  std::uint32_t current_span_ = 0;
+  std::vector<Op> ops_;
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+};
+
+}  // namespace mafic::core

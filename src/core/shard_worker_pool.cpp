@@ -1,0 +1,79 @@
+#include "core/shard_worker_pool.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace mafic::core {
+
+ShardWorkerPool::ShardWorkerPool(std::size_t workers) {
+  if (workers < 1) workers = 1;
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ShardWorkerPool::~ShardWorkerPool() {
+  wait();  // in-flight sub-spans always complete before shutdown
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ShardWorkerPool::submit(TaskFn fn, std::size_t n) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // One batch at a time; the caller pairs every submit with a wait.
+    assert(!batch_open_ && "submit() while a batch is still in flight");
+    fn_ = std::move(fn);
+    n_tasks_ = n;
+    next_task_ = 0;
+    finished_ = 0;
+    batch_open_ = n > 0;
+    ++epoch_;
+  }
+  if (n > 0) work_cv_.notify_all();
+}
+
+std::size_t ShardWorkerPool::drain_tasks() {
+  std::size_t ran = 0;
+  for (;;) {
+    std::size_t idx;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!batch_open_ || next_task_ >= n_tasks_) return ran;
+      idx = next_task_++;
+    }
+    fn_(idx);  // fn_ is stable while the batch is open
+    ++ran;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (++finished_ == n_tasks_) {
+      batch_open_ = false;
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ShardWorkerPool::wait() {
+  drain_tasks();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return !batch_open_ || finished_ == n_tasks_; });
+}
+
+void ShardWorkerPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+    }
+    drain_tasks();
+  }
+}
+
+}  // namespace mafic::core

@@ -75,31 +75,43 @@ EngineVerdict ShardedFilter::inspect(const sim::Packet& p) {
   return engines_[shard_of(key)]->inspect_hashed(p, key);
 }
 
-void ShardedFilter::inspect_batch(const sim::Packet* const* pkts,
-                                  std::size_t n, EngineVerdict* out) {
-  constexpr std::size_t kWindow = 16;
-  std::uint64_t keys[kWindow];
-  std::uint8_t hot[kWindow];  // victim-bound and inspectable
-
+void ShardedFilter::partition_span(const sim::Packet* const* pkts,
+                                   std::size_t n, SpanPartition& out) const {
+  out.hot.resize(n);
+  out.keys.resize(n);
+  out.shard.resize(n);
   // Every shard shares the activation state and victim set (the control
   // plane fans out), so the first engine's hot gate decides for all of
-  // them — cold packets skip the hash, the prefetch and the engine call.
+  // them — cold packets skip the hash and the shard-id slice.
   const FilterEngine& gate = *engines_.front();
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool h = gate.wants(*pkts[i]);
+    out.hot[i] = h ? 1 : 0;
+    if (h) {
+      out.keys[i] = sim::hash_label(pkts[i]->label);
+      out.shard[i] = static_cast<std::uint32_t>(shard_of(out.keys[i]));
+    }
+  }
+}
+
+void ShardedFilter::inspect_batch(const sim::Packet* const* pkts,
+                                  std::size_t n, EngineVerdict* out) {
+  partition_span(pkts, n, part_);
+  // Windowed prefetch ahead of the in-order classify walk; the shard id
+  // comes from the partition pass instead of being re-derived per loop.
+  constexpr std::size_t kWindow = 16;
   std::size_t i = 0;
   while (i < n) {
     const std::size_t m = n - i < kWindow ? n - i : kWindow;
     for (std::size_t j = 0; j < m; ++j) {
-      const bool h = gate.wants(*pkts[i + j]);
-      hot[j] = h ? 1 : 0;
-      if (h) {
-        keys[j] = sim::hash_label(pkts[i + j]->label);
-        engines_[shard_of(keys[j])]->tables().prefetch(keys[j]);
+      if (part_.hot[i + j] != 0) {
+        engines_[part_.shard[i + j]]->tables().prefetch(part_.keys[i + j]);
       }
     }
     for (std::size_t j = 0; j < m; ++j) {
-      out[i + j] = hot[j] != 0
-                       ? engines_[shard_of(keys[j])]->inspect_hashed(
-                             *pkts[i + j], keys[j])
+      out[i + j] = part_.hot[i + j] != 0
+                       ? engines_[part_.shard[i + j]]->inspect_hashed(
+                             *pkts[i + j], part_.keys[i + j])
                        : EngineVerdict::kForward;
     }
     i += m;

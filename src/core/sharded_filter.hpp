@@ -121,16 +121,31 @@ class ShardedFilter {
   /// bursts).
   EngineVerdict inspect(const sim::Packet& p);
 
+  /// The shared pre-hash pass over one burst span: gate (wants), label
+  /// hash and home-shard id per packet, computed exactly once. Both the
+  /// serial in-order batch walk (inspect_batch) and the speculative
+  /// threaded sub-span builder (ShardedMaficFilter) consume this one
+  /// routine, so the two paths cannot disagree on a packet's home shard.
+  /// Cold packets (hot[i] == 0) have undefined key/shard entries.
+  struct SpanPartition {
+    std::vector<std::uint8_t> hot;      ///< victim-bound and inspectable
+    std::vector<std::uint64_t> keys;    ///< hash_label per hot packet
+    std::vector<std::uint32_t> shard;   ///< home shard per hot packet
+  };
+  void partition_span(const sim::Packet* const* pkts, std::size_t n,
+                      SpanPartition& out) const;
+
   /// Batch-inspects an indirect span (what a simulator burst delivers)
-  /// in ARRIVAL order: pre-hashes a window of keys, prefetches each
-  /// key's home slot in its home shard's store, then classifies
+  /// in ARRIVAL order: runs partition_span, prefetches each hot key's
+  /// home slot in its home shard's store a window ahead, then classifies
   /// sequentially, dispatching every packet to its home engine. Keeps
   /// the memory-level parallelism of FilterEngine::inspect_batch while
   /// preserving cross-shard arrival order — admissions schedule their
   /// probe/decision timers in span order, so a shared timer service
   /// fires them (and emits probes) exactly as a single engine would.
-  /// Single-threaded by design; the threaded fast path remains
-  /// per-shard engine(i).inspect_batch on pre-partitioned substreams.
+  /// Single-threaded by design; the threaded path (speculative sub-span
+  /// fan-out with a deterministic journal merge) lives in the sim
+  /// adapter, ShardedMaficFilter.
   void inspect_batch(const sim::Packet* const* pkts, std::size_t n,
                      EngineVerdict* out);
 
@@ -160,6 +175,8 @@ class ShardedFilter {
   std::vector<std::unique_ptr<FilterEngine>> owned_engines_;
   /// Both modes: shard i's engine (the common routing/datapath surface).
   std::vector<FilterEngine*> engines_;
+  /// inspect_batch scratch (reused; steady state allocates nothing).
+  SpanPartition part_;
 };
 
 }  // namespace mafic::core

@@ -1,5 +1,7 @@
 #include "core/sharded_mafic_filter.hpp"
 
+#include <cassert>
+
 namespace mafic::core {
 
 ShardedMaficFilter::ShardedMaficFilter(sim::Simulator* sim,
@@ -8,18 +10,35 @@ ShardedMaficFilter::ShardedMaficFilter(sim::Simulator* sim,
                                        std::size_t num_shards,
                                        MaficConfig cfg,
                                        const AddressPolicy* policy,
-                                       std::uint64_t seed)
+                                       std::uint64_t seed,
+                                       ShardWorkerPool* pool)
     : atr_node_(atr_node),
       clock_(sim),
       timers_(sim),
       prober_(sim, factory, atr_node, cfg),
       shard_sinks_(ShardedFilter::usable_shard_count(num_shards)),
+      pool_(pool),
       sharded_(num_shards, cfg, policy, seed,
                [this](std::size_t i) {
                  shard_sinks_[i].wire = &prober_;
-                 return ShardedFilter::ShardSeams{&clock_, &timers_,
-                                                 &shard_sinks_[i]};
-               }) {}
+                 if (pool_ == nullptr) {
+                   return ShardedFilter::ShardSeams{&clock_, &timers_,
+                                                   &shard_sinks_[i]};
+                 }
+                 // Threaded mode: each shard's timer/probe seams buffer
+                 // into its journal during bursts and pass through to
+                 // the shared wheel / per-shard sink otherwise.
+                 journals_.push_back(std::make_unique<ShardSeamJournal>(
+                     &timers_, &shard_sinks_[i]));
+                 ShardSeamJournal* j = journals_.back().get();
+                 return ShardedFilter::ShardSeams{&clock_, j, j};
+               }) {
+  if (pool_ != nullptr) {
+    sub_.resize(sharded_.shard_count());
+    op_cursor_.resize(sharded_.shard_count());
+    sub_pos_.resize(sharded_.shard_count());
+  }
+}
 
 sim::NodeId ShardedMaficFilter::atr_node_id() const noexcept {
   return atr_node_->id();
@@ -27,15 +46,44 @@ sim::NodeId ShardedMaficFilter::atr_node_id() const noexcept {
 
 void ShardedMaficFilter::set_offered_callback(
     FilterEngine::OfferedCallback cb) {
+  user_offered_ = std::move(cb);
   for (std::size_t i = 0; i < sharded_.shard_count(); ++i) {
-    sharded_.engine(i).set_offered_callback(cb);
+    if (pool_ != nullptr && user_offered_) {
+      // Worker-side invocations are journaled and replayed in span
+      // order; sim-thread invocations (scalar recv, timer paths) go
+      // straight through.
+      ShardSeamJournal* j = journals_[i].get();
+      sharded_.engine(i).set_offered_callback(
+          [this, j](const sim::Packet& p) {
+            if (j->buffering()) {
+              j->record_offered(p);
+            } else {
+              user_offered_(p);
+            }
+          });
+    } else {
+      sharded_.engine(i).set_offered_callback(user_offered_);
+    }
   }
 }
 
 void ShardedMaficFilter::set_classification_callback(
     FilterEngine::ClassificationCallback cb) {
+  user_classified_ = std::move(cb);
   for (std::size_t i = 0; i < sharded_.shard_count(); ++i) {
-    sharded_.engine(i).set_classification_callback(cb);
+    if (pool_ != nullptr && user_classified_) {
+      ShardSeamJournal* j = journals_[i].get();
+      sharded_.engine(i).set_classification_callback(
+          [this, j](const SftEntry& e, TableKind dest) {
+            if (j->buffering()) {
+              j->record_classified(e, dest);
+            } else {
+              user_classified_(e, dest);
+            }
+          });
+    } else {
+      sharded_.engine(i).set_classification_callback(user_classified_);
+    }
   }
 }
 
@@ -56,7 +104,100 @@ sim::InlineFilter::Decision ShardedMaficFilter::inspect(sim::Packet& p) {
 void ShardedMaficFilter::inspect_burst(sim::PacketPtr* pkts, std::size_t n,
                                        Decision* out) {
   if (n > max_burst_) max_burst_ = n;
-  inspect_burst_via(sharded_, pkts, n, batch_ptrs_, batch_verdicts_, out);
+  if (pool_ == nullptr) {
+    inspect_burst_via(sharded_, pkts, n, batch_ptrs_, batch_verdicts_, out);
+    return;
+  }
+  batch_ptrs_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) batch_ptrs_[i] = pkts[i].get();
+  inspect_burst_threaded(n, out);
+}
+
+void ShardedMaficFilter::run_shard(std::size_t s) {
+  SubSpan& sub = sub_[s];
+  if (sub.pkts.empty()) return;
+  sub.verdicts.resize(sub.pkts.size());
+  sharded_.engine(s).inspect_batch_keyed(sub.pkts.data(), sub.keys.data(),
+                                         sub.span_idx.data(),
+                                         sub.pkts.size(),
+                                         sub.verdicts.data(),
+                                         journals_[s].get());
+}
+
+void ShardedMaficFilter::apply_op(std::size_t s,
+                                  const ShardSeamJournal::Op& op) {
+  using OpKind = ShardSeamJournal::OpKind;
+  switch (op.kind) {
+    case OpKind::kTimerSchedule:
+    case OpKind::kTimerCancel:
+    case OpKind::kTimerReschedule:
+      journals_[s]->apply_timer(op);
+      return;
+    case OpKind::kProbe:
+      shard_sinks_[s].send_probe(op.flow);
+      return;
+    case OpKind::kOffered:
+      if (user_offered_) user_offered_(*op.pkt);
+      return;
+    case OpKind::kClassified:
+      if (user_classified_) user_classified_(op.entry, op.dest);
+      return;
+  }
+}
+
+void ShardedMaficFilter::inspect_burst_threaded(std::size_t n,
+                                                Decision* out) {
+  ++threaded_bursts_;
+  const std::size_t shards = sharded_.shard_count();
+
+  // Shared partition pass (same routine as the serial walk), then build
+  // the per-shard sub-spans in stable within-shard arrival order.
+  sharded_.partition_span(batch_ptrs_.data(), n, part_);
+  for (std::size_t s = 0; s < shards; ++s) sub_[s].clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (part_.hot[i] == 0) {
+      out[i] = Decision::forward();
+      continue;
+    }
+    SubSpan& sub = sub_[part_.shard[i]];
+    sub.pkts.push_back(batch_ptrs_[i]);
+    sub.keys.push_back(part_.keys[i]);
+    sub.span_idx.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // Speculative fan-out: workers classify sub-spans against shard-local
+  // state, journaling every seam side effect. The pool's fan-out/join is
+  // the happens-before edge for everything the workers read and wrote.
+  for (std::size_t s = 0; s < shards; ++s) journals_[s]->begin_burst();
+  pool_->submit([this](std::size_t s) { run_shard(s); }, shards);
+  pool_->wait();
+  for (std::size_t s = 0; s < shards; ++s) journals_[s]->end_burst();
+
+  // Deterministic merge: one forward pass over the span interleaves the
+  // per-shard journals by original span index — the exact seam call
+  // sequence (and verdict stream) the serial in-order walk produces.
+  for (std::size_t s = 0; s < shards; ++s) {
+    op_cursor_[s] = 0;
+    sub_pos_[s] = 0;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (part_.hot[i] == 0) continue;
+    const std::size_t s = part_.shard[i];
+    const SubSpan& sub = sub_[s];
+    assert(sub.span_idx[sub_pos_[s]] == i);
+    out[i] = to_decision(sub.verdicts[sub_pos_[s]]);
+    ++sub_pos_[s];
+    const auto& ops = journals_[s]->ops();
+    std::size_t& cur = op_cursor_[s];
+    while (cur < ops.size() && ops[cur].span == i) {
+      apply_op(s, ops[cur]);
+      ++cur;
+    }
+  }
+  for (std::size_t s = 0; s < shards; ++s) {
+    assert(op_cursor_[s] == journals_[s]->ops().size());
+    journals_[s]->clear_ops();
+  }
 }
 
 }  // namespace mafic::core

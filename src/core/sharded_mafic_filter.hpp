@@ -22,11 +22,26 @@
 /// RECEIVING end of the uplink (SimplexLink::add_tail_tap) — the ATR
 /// router's ingress side — because that is where the link's burst mode
 /// delivers coalesced departure spans. Bursts route through
-/// inspect_burst -> ShardedFilter::inspect_batch: a window of keys is
-/// pre-hashed and each key's home slot prefetched in its home shard's
-/// store (deterministic key-hash dispatch, the shard-partition invariant
-/// of sharded_filter.hpp), then packets are classified sequentially in
-/// arrival order, each by its home engine.
+/// inspect_burst; with no worker pool they run the serial in-order walk
+/// (ShardedFilter::inspect_batch, shared partition pass + windowed
+/// prefetch + sequential classification by home engine).
+///
+/// Speculative threaded mode (pool != nullptr): the burst span is
+/// partitioned once into per-shard sub-spans (stable within-shard
+/// arrival order), fanned out to a persistent ShardWorkerPool, and each
+/// worker runs its shard's FilterEngine::inspect_batch_keyed against
+/// shard-local store/wheel-slots/RNG — recording every timer schedule,
+/// cancel, probe request and callback into that shard's ShardSeamJournal
+/// instead of touching the shared wheel, prober or ledger. After the
+/// join, the sim thread merges the journals deterministically (a single
+/// forward pass interleaving shards by original span index) and replays
+/// them against the real seams. Because each engine sees exactly the
+/// packets, in exactly the order, that the serial walk would have fed
+/// it, and the replay reproduces the serial seam call sequence, the
+/// verdict stream, timer order, probe order and every per-shard counter
+/// are bit-identical to the serial path regardless of worker count
+/// (test_core_threaded_sim pins this; the TSan CI job race-checks the
+/// fan-out/join and journal handoff).
 ///
 /// Scalar equivalence: with CoinMode::kPacketHash (a flow's Pd coins
 /// depend only on (coin_seed, flow key, packet uid)), every per-flow
@@ -40,12 +55,15 @@
 /// under the single-shard bounds when comparing).
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/actuator.hpp"
 #include "core/address_policy.hpp"
 #include "core/config.hpp"
+#include "core/journal_seams.hpp"
 #include "core/prober.hpp"
+#include "core/shard_worker_pool.hpp"
 #include "core/sharded_filter.hpp"
 #include "core/sim_seams.hpp"
 #include "sim/connector.hpp"
@@ -60,11 +78,13 @@ class ShardedMaficFilter final : public sim::InlineFilter,
   /// `num_shards` rounds up to a power of two (see
   /// ShardedFilter::usable_shard_count). `seed` derives the per-shard
   /// RNG streams (unused for coins under kPacketHash, which reads
-  /// cfg.coin_seed instead).
+  /// cfg.coin_seed instead). `pool` (non-owning, may be shared across
+  /// filters, must outlive this one) switches bursts onto the
+  /// speculative threaded path; nullptr keeps the serial in-order walk.
   ShardedMaficFilter(sim::Simulator* sim, sim::PacketFactory* factory,
                      sim::Node* atr_node, std::size_t num_shards,
                      MaficConfig cfg, const AddressPolicy* policy,
-                     std::uint64_t seed);
+                     std::uint64_t seed, ShardWorkerPool* pool = nullptr);
 
   // --- DefenseActuator ---
   void activate(const VictimSet& victims) override {
@@ -74,11 +94,16 @@ class ShardedMaficFilter final : public sim::InlineFilter,
   void deactivate() override { sharded_.deactivate(); }
   bool active() const noexcept override { return sharded_.active(); }
 
-  /// Fans the callback out to every shard engine.
+  /// Fans the callback out to every shard engine. In threaded mode the
+  /// installed callback is a journaling wrapper: invocations from worker
+  /// threads are recorded and replayed to `cb` on the sim thread in span
+  /// order, so `cb` may touch shared state (the ledger does). Callbacks
+  /// must not mutate the filter itself (activate/deactivate) mid-burst.
   void set_offered_callback(FilterEngine::OfferedCallback cb);
   void set_classification_callback(FilterEngine::ClassificationCallback cb);
 
   std::size_t num_shards() const noexcept { return sharded_.shard_count(); }
+  bool threaded() const noexcept { return pool_ != nullptr; }
   ShardedFilter& sharded() noexcept { return sharded_; }
   const ShardedFilter& sharded() const noexcept { return sharded_; }
   const FilterEngine& engine(std::size_t i) const noexcept {
@@ -99,6 +124,9 @@ class ShardedMaficFilter final : public sim::InlineFilter,
   }
   /// Largest burst span inspect_burst has received (diagnostics).
   std::size_t max_burst_seen() const noexcept { return max_burst_; }
+  /// Bursts that took the speculative threaded path (diagnostics; stays
+  /// zero without a pool).
+  std::uint64_t threaded_bursts() const noexcept { return threaded_bursts_; }
 
  protected:
   Decision inspect(sim::Packet& p) override;
@@ -107,9 +135,10 @@ class ShardedMaficFilter final : public sim::InlineFilter,
 
  private:
   /// Per-shard ProbeSink: counts the shard's requests, then forwards to
-  /// the shared Prober. Span-ordered classification makes the shared
-  /// wheel fire probe timers in admission-arrival order, so the merged
-  /// probe stream hits the wire in arrival order.
+  /// the shared Prober. Span-ordered classification (serial walk or
+  /// journal replay alike) makes the shared wheel fire probe timers in
+  /// admission-arrival order, so the merged probe stream hits the wire
+  /// in arrival order.
   struct ShardProbeSink final : ProbeSink {
     Prober* wire = nullptr;
     std::uint64_t requested = 0;
@@ -119,17 +148,50 @@ class ShardedMaficFilter final : public sim::InlineFilter,
     }
   };
 
+  /// One shard's sub-span staging (reused across bursts).
+  struct SubSpan {
+    std::vector<const sim::Packet*> pkts;
+    std::vector<std::uint64_t> keys;
+    std::vector<std::uint32_t> span_idx;  ///< original position in span
+    std::vector<EngineVerdict> verdicts;
+    void clear() {
+      pkts.clear();
+      keys.clear();
+      span_idx.clear();
+      verdicts.clear();
+    }
+  };
+
+  void inspect_burst_threaded(std::size_t n, Decision* out);
+  /// Worker-side body: one shard's sub-span through the journaled batch.
+  void run_shard(std::size_t s);
+  /// Replays one journaled op (sim thread, span-merge order).
+  void apply_op(std::size_t s, const ShardSeamJournal::Op& op);
+
   sim::Node* atr_node_;
   SimClock clock_;
   SimTimerService timers_;
   Prober prober_;
   std::vector<ShardProbeSink> shard_sinks_;  ///< one per shard, stable
+  ShardWorkerPool* pool_;  ///< non-owning; nullptr = serial bursts
+  /// Threaded mode only: shard i's buffering seams (stable addresses).
+  std::vector<std::unique_ptr<ShardSeamJournal>> journals_;
   ShardedFilter sharded_;
+
+  /// User callbacks (threaded mode installs journaling wrappers on the
+  /// engines and replays into these on the sim thread).
+  FilterEngine::OfferedCallback user_offered_;
+  FilterEngine::ClassificationCallback user_classified_;
 
   // inspect_burst scratch (reused; steady state allocates nothing).
   std::vector<const sim::Packet*> batch_ptrs_;
   std::vector<EngineVerdict> batch_verdicts_;
+  ShardedFilter::SpanPartition part_;
+  std::vector<SubSpan> sub_;
+  std::vector<std::size_t> op_cursor_;
+  std::vector<std::size_t> sub_pos_;
   std::size_t max_burst_ = 0;
+  std::uint64_t threaded_bursts_ = 0;
 };
 
 }  // namespace mafic::core

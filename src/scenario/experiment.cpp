@@ -258,6 +258,11 @@ void Experiment::build_flows() {
 void Experiment::build_defense() {
   if (cfg_.defense == DefenseKind::kNone) return;
 
+  if (cfg_.num_shards > 0 && cfg_.shard_threads > 0) {
+    shard_pool_ =
+        std::make_unique<core::ShardWorkerPool>(cfg_.shard_threads);
+  }
+
   coordinator_ = std::make_unique<pushback::PushbackCoordinator>(
       &sim_, cfg_.pushback);
   coordinator_->protect(domain_->victim_router(), domain_->victim_addr());
@@ -279,7 +284,7 @@ void Experiment::build_defense() {
           // the uplink, where burst mode delivers coalesced spans.
           auto filter = std::make_unique<core::ShardedMaficFilter>(
               &sim_, &factory_, atr, cfg_.num_shards, cfg_.mafic,
-              policy_.get(), /*seed=*/rng_.next());
+              policy_.get(), /*seed=*/rng_.next(), shard_pool_.get());
           filter->set_offered_callback([this](const sim::Packet& p) {
             ledger_.on_defense_offered(p, sim_.now());
           });

@@ -142,6 +142,17 @@ struct ExperimentConfig {
   /// classification decisions — num_shards = 1 is the scalar comparator.
   std::size_t num_shards = 0;
 
+  /// Speculative threaded sim shards (requires num_shards >= 1). 0
+  /// (default) classifies burst spans in arrival order on the sim
+  /// thread — the serial, golden-pinned path. >= 1 spins up a shared
+  /// core::ShardWorkerPool with this many persistent workers; every
+  /// sharded filter partitions its burst spans into per-shard sub-spans,
+  /// fans them out, and merges the per-shard seam journals
+  /// deterministically, so results are bit-identical to shard_threads=0
+  /// at any worker count (test_core_threaded_sim pins this; the
+  /// bench_flow_store_scale sim_threaded_sweep tier gates it).
+  std::size_t shard_threads = 0;
+
   /// Departure coalescing on ingress access uplinks
   /// (DomainConfig::access_uplink_burst_packets): back-to-back departures
   /// reach the ATR as one span of up to this many packets, which is what
@@ -269,6 +280,10 @@ class Experiment {
   sim::PacketFactory factory_;
   util::Rng rng_;
 
+  /// Shared worker pool for the speculative threaded shard path; created
+  /// iff num_shards > 0 && shard_threads > 0. Declared before net_ so it
+  /// outlives the link-owned filters that borrow it.
+  std::unique_ptr<core::ShardWorkerPool> shard_pool_;
   std::unique_ptr<sim::Network> net_;
   std::unique_ptr<topology::Domain> domain_;
   std::unique_ptr<core::AddressPolicy> policy_;

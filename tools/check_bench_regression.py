@@ -16,6 +16,18 @@ so the gate keys tiers on the tag and only ever compares like with like.
 Rows from before the tag (or untagged single-stream series) form their
 own legacy group.
 
+Rows may also carry a "calib_ns" machine-speed calibration (ns per step
+of a fixed ALU + DRAM-latency reference workload, measured by the same
+run that produced the row — see bench_json.hpp). The trajectory spans
+heterogeneous dev boxes, and a raw ns/packet comparison across two boxes
+measures the hardware, not the code; when both entries of a comparison
+carry a calibration, the newer entry's ns/packet is scaled by
+prev_calib/last_calib before the threshold check (the calibration
+workload contains no library code, so a code regression cannot hide in
+it). When only one side carries a calibration the pair straddles the
+instrumentation boundary and the comparison is skipped as a loud series
+rebase; two uncalibrated legacy entries compare raw, as before.
+
 Usage:
     tools/check_bench_regression.py BENCH_flow_store.json [--threshold 0.10]
 
@@ -62,32 +74,47 @@ def main() -> int:
             return ""
         return "threads" if threads else "serial"
 
-    # (bench, name, flows, mode) -> [ns_per_packet...]
+    # (bench, name, flows, mode) -> [(ns_per_packet, calib_ns), ...]
     tiers = defaultdict(list)
     for r in records:
         key = (r.get("bench", "?"), r.get("name", "?"), r.get("flows", 0),
                mode_tag(r))
-        tiers[key].append(float(r.get("ns_per_packet", 0.0)))
+        tiers[key].append((float(r.get("ns_per_packet", 0.0)),
+                           float(r.get("calib_ns", 0.0))))
 
     failures = []
     for (bench, name, flows, mode), series in sorted(tiers.items()):
         tier = f"{bench}/{name}@{flows:.0f}" + (f"[{mode}]" if mode else "")
         if len(series) < 2:
             print(f"  new    {tier}: "
-                  f"{series[-1]:.2f} ns/pkt (no previous entry)")
+                  f"{series[-1][0]:.2f} ns/pkt (no previous entry)")
             continue
-        prev, last = series[-2], series[-1]
+        (prev, prev_calib), (last, last_calib) = series[-2], series[-1]
         if prev <= 0.0:
             continue
-        delta = (last - prev) / prev
+        if (prev_calib > 0.0) != (last_calib > 0.0):
+            # One side predates the machine calibration: the pair cannot
+            # be compared across the hardware difference. Start a fresh
+            # calibrated series here (loudly).
+            print(f"  rebase     {tier}: {prev:.2f} -> {last:.2f} ns/pkt "
+                  f"(calibration boundary; comparison skipped)")
+            continue
+        scaled_last = last
+        note = ""
+        if prev_calib > 0.0 and last_calib > 0.0:
+            scaled_last = last * prev_calib / last_calib
+            note = (f" [raw {last:.2f}, box speed factor "
+                    f"{last_calib / prev_calib:.2f}x]")
+        delta = (scaled_last - prev) / prev
         verdict = "ok"
         if delta > args.threshold:
             verdict = "REGRESSION"
-            failures.append((tier, prev, last, delta))
+            failures.append((tier, prev, scaled_last, delta))
         elif delta < 0:
             verdict = "improved"
         print(f"  {verdict:<10} {tier}: "
-              f"{prev:.2f} -> {last:.2f} ns/pkt ({delta:+.1%})")
+              f"{prev:.2f} -> {scaled_last:.2f} ns/pkt ({delta:+.1%})"
+              f"{note}")
 
     if failures:
         print(f"\nFAIL: {len(failures)} tier(s) regressed more than "
