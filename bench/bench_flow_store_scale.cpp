@@ -26,7 +26,13 @@
 //   6. the speculative threaded sim path (shard_threads > 0: per-shard
 //      sub-span fan-out to a worker pool + deterministic journal merge)
 //      produces verdicts bit-identical to the serial span walk, timed at
-//      0/2/4 workers in the sim_threaded_sweep tier.
+//      0/2/4 workers in the sim_threaded_sweep tier;
+//   7. fleet tick batching (FleetBurstScheduler as the simulator's tick
+//      drain: ONE pool submission covering every (filter, shard)
+//      sub-span delivered in a tick) stays bit-identical to the serial
+//      walk AND — on a >= 4-core box — beats shard_threads=0 by >= 3x
+//      wall clock at 4 workers over a fleet-scale steady-state scenario
+//      (the sim_fleet_threaded tier; occupancy lands in the trajectory).
 //
 // Sharding driver: one thread per shard when the hardware has the cores;
 // on smaller machines the shards run back-to-back on one core and the
@@ -50,19 +56,24 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <memory>
 #include <new>
 #include <thread>
 #include <vector>
 
 #include "bench_json.hpp"
 #include "reference_flow_tables.hpp"
+#include "core/fleet_burst_scheduler.hpp"
 #include "core/flow_tables.hpp"
 #include "core/mafic_filter.hpp"
 #include "core/sharded_filter.hpp"
+#include "core/sharded_mafic_filter.hpp"
 #include "scenario/experiment.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "util/hash.hpp"
+#include "util/rng.hpp"
 
 // ---- global allocation counter ---------------------------------------------
 // Counts every path into the global heap; the steady-state sections assert
@@ -103,11 +114,13 @@ std::uint64_t key_for(std::uint64_t i) { return util::mix64(i + 1); }
 
 /// Best-of pass count shared by the single-stream tiers; the completeness
 /// checks in main()/run_scalar_baseline derive from it, so bumping it for
-/// noise cannot silently break the gate assertions.
-constexpr int kBestOfPasses = 3;
+/// noise cannot silently break the gate assertions. Five passes: the min
+/// must dodge multi-second contention spikes on shared dev boxes and CI
+/// runners, and three passes left the 10% regression gate flapping.
+constexpr int kBestOfPasses = 5;
 
 /// Times `lookups` classify() calls over `population` resident keys.
-/// Best of five passes (rejects scheduler/frequency noise; three passes
+/// Best of seven passes (rejects scheduler/frequency noise; five passes
 /// still flapped the 10% regression gate on shared/steal-prone boxes);
 /// `sink` defeats dead-code elimination.
 template <typename Tables>
@@ -119,7 +132,7 @@ double time_classify(Tables& tables, std::uint64_t population,
     acc += static_cast<std::uint64_t>(tables.classify(key_for(i)));
   }
   double best = 0;
-  for (int pass = 0; pass < 5; ++pass) {
+  for (int pass = 0; pass < 7; ++pass) {
     const double start = now_ns();
     for (std::uint64_t i = 0; i < lookups; ++i) {
       acc +=
@@ -233,7 +246,7 @@ InspectResult steady_state_inspect(std::uint64_t population,
 
   // Steady state: every packet hits a resolved flow — the full inspect()
   // datapath (hash, flat-store classify, forward) with zero admissions.
-  // Best of three passes (like time_classify): a single pass is at the
+  // Best of kBestOfPasses (like time_classify): a single pass is at the
   // mercy of scheduler/frequency noise and flaps the regression gate.
   InspectResult out;
   const std::uint64_t allocs_before = g_allocs.load();
@@ -417,7 +430,7 @@ double run_scalar_baseline(std::uint64_t total_flows, int rounds,
   core::FilterEngine& eng = fx.filter->engine(0);
   const std::vector<sim::Packet>& stream = fx.stream[0];
 
-  // Best of three passes, like the other single-stream tiers.
+  // Best of kBestOfPasses, like the other single-stream tiers.
   const std::uint64_t allocs_before = g_allocs.load();
   std::uint64_t fwd = 0;
   double best = 0;
@@ -458,7 +471,7 @@ double run_admission_flood(std::uint64_t admissions,
     now += 1e-6;
   }
 
-  // Best of three passes; the churn is stationary (every admission
+  // Best of kBestOfPasses; the churn is stationary (every admission
   // evicts), so repeated passes measure the same steady state.
   const std::uint64_t allocs_before = g_allocs.load();
   double best = 0;
@@ -524,7 +537,7 @@ double run_admission_flood_quota(std::uint64_t iterations,
                                       util::mix64((1ull << 40) + 2),
                                       util::mix64((1ull << 40) + 3)};
 
-  // Best of three passes over the same stationary reclaim/refill churn.
+  // Best of kBestOfPasses over the same stationary reclaim/refill churn.
   const std::uint64_t allocs_before = g_allocs.load();
   double best = 0;
   for (int pass = 0; pass < kBestOfPasses; ++pass) {
@@ -627,9 +640,9 @@ bool run_sim_threaded_sweep(std::vector<bench::BenchRecord>* records) {
        {std::size_t{0}, std::size_t{2}, std::size_t{4}}) {
     double best = 0;
     scenario::ExperimentResult result;
-    // Best of two full runs: the run is deterministic, so the repeat
-    // only rejects scheduler noise, never changes the result.
-    for (int pass = 0; pass < 2; ++pass) {
+    // Best of three full runs: the run is deterministic, so the repeats
+    // only reject scheduler noise, never change the result.
+    for (int pass = 0; pass < 3; ++pass) {
       scenario::ExperimentConfig cfg = base;
       cfg.shard_threads = threads;
       scenario::Experiment exp(cfg);
@@ -673,11 +686,390 @@ bool run_sim_threaded_sweep(std::vector<bench::BenchRecord>* records) {
   return all_ok;
 }
 
+// ---- fleet tick batching: sim_fleet_threaded tier --------------------------
+
+/// Scripted fleet scale. Eight ATR filters x four shards; each filter
+/// owns kFleetFlows resident flows (the fleet's tables together outgrow
+/// L2, so classification pays real memory latency — the regime the
+/// line-rate claim lives in); the measured phase delivers kFleetTicks
+/// same-instant ticks of one kFleetSpan-packet span per filter, so every
+/// tick is one (filters x shards)-task pool submission under fleet
+/// batching and a plain arrival-order walk serially.
+///
+/// The measured window is shaped to be probation-heavy: every flow is
+/// admitted to the SFT just before t=1.0 with a 2 x max_rtt = 0.2 s
+/// response window, and the delivery ticks all land inside that window.
+/// Each measured packet therefore takes the most expensive per-packet
+/// path the filter has — RTT-estimator observe, classify probe, SFT
+/// entry lookup, baseline/probe counting, Pd coin — all of which runs on
+/// the workers, while ~90% of packets drop in probation so the
+/// sim-thread finish walk stays thin. The probation decision timers
+/// fire AFTER the last tick by construction and are excluded from the
+/// timed region (both modes pay them identically anyway).
+constexpr std::size_t kFleetFilters = 8;
+constexpr std::size_t kFleetShards = 4;
+constexpr std::size_t kFleetFlows = 98304;
+constexpr std::size_t kFleetTicks = 80;
+constexpr std::size_t kFleetSpan = 1536;
+constexpr std::size_t kFleetAdmitRounds = 2;  ///< ~1% stragglers remain
+constexpr double kFleetAdmitTime = 0.93;      ///< first admission round
+constexpr double kFleetFirstTick = 1.0;
+constexpr double kFleetTickSpacing = 0.0016;
+/// End of the timed region: past the last delivery tick, before the
+/// earliest probation deadline (kFleetAdmitTime + 0.2).
+constexpr double kFleetMeasureEnd = 1.129;
+
+sim::FlowLabel fleet_label(std::uint32_t id) {
+  return {util::make_addr(60, (id >> 16) & 0xff, (id >> 8) & 0xff,
+                          id & 0xff),
+          util::make_addr(172, 17, 0, 1),
+          std::uint16_t(1024 + (id & 0x3fff)), 80};
+}
+
+/// Survivor sink: count plus an order-sensitive uid hash chain, so two
+/// runs agree only when the same packets survive in the same order.
+class FleetUidSink final : public sim::Connector {
+ public:
+  void recv(sim::PacketPtr p) override {
+    ++count;
+    hash = util::mix64(hash ^ p->uid);
+  }
+  std::uint64_t count = 0;
+  std::uint64_t hash = 0x9e3779b97f4a7c15ULL;
+};
+
+struct FleetTierRun {
+  double ns_per_packet = 0;
+  std::uint64_t measured_packets = 0;
+  // Equivalence fingerprint — must be identical across execution modes.
+  std::uint64_t survivors = 0;
+  std::uint64_t survivor_hash = 0;
+  std::uint64_t offered = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t admissions = 0;
+  std::uint64_t evictions = 0;
+  // Mode diagnostics — differ across modes by design.
+  std::uint64_t drains = 0;
+  std::uint64_t coalesced = 0;
+  core::ShardWorkerPool::Occupancy occupancy{};
+
+  bool identical_to(const FleetTierRun& o) const {
+    return survivors == o.survivors && survivor_hash == o.survivor_hash &&
+           offered == o.offered && forwarded == o.forwarded &&
+           admissions == o.admissions && evictions == o.evictions;
+  }
+};
+
+/// One full scripted fleet run. threads == 0 is the serial comparator
+/// (no pool, spans classified inline in arrival order); fleet == true
+/// additionally installs the FleetBurstScheduler tick drain so all
+/// same-tick spans coalesce into one submission.
+FleetTierRun run_sim_fleet_once(std::size_t threads, bool fleet) {
+  sim::Simulator sim;
+  sim::Network net(&sim);
+  sim::PacketFactory factory;
+
+  std::unique_ptr<core::ShardWorkerPool> pool;
+  std::unique_ptr<core::FleetBurstScheduler> sched;
+  if (threads > 0) {
+    pool = std::make_unique<core::ShardWorkerPool>(threads);
+    if (fleet) {
+      sched = std::make_unique<core::FleetBurstScheduler>(pool.get());
+      sim.set_tick_drain(sched.get());
+    }
+  }
+
+  core::MaficConfig cfg;
+  cfg.drop_probability = 0.9;
+  cfg.probe_enabled = false;  // no wired victim topology in this fixture
+  cfg.coin_mode = core::CoinMode::kPacketHash;
+  cfg.coin_seed = 0x5eedULL;
+  // Pin every probation window to 2 x max_rtt = 0.2 s: flows admitted at
+  // kFleetAdmitTime stay suspicious past the last delivery tick, so the
+  // whole measured phase runs the probation path and the decision timers
+  // fire in the untimed tail. (Timestamp echoes can only clamp the RTT
+  // estimate to max_rtt here, so measured-phase observes never shrink a
+  // window.)
+  cfg.default_rtt = cfg.max_rtt;
+  // Every flow can sit in probation at once without capacity churn; the
+  // measured phase prices the steady-state classify path, not eviction.
+  cfg.sft_capacity = kFleetFlows + kFleetFlows / 4;
+  cfg.nft_capacity = 2 * kFleetFlows;
+
+  std::vector<FleetUidSink> sinks(kFleetFilters);
+  std::vector<std::unique_ptr<core::ShardedMaficFilter>> filters;
+  for (std::size_t f = 0; f < kFleetFilters; ++f) {
+    sim::Node* atr =
+        net.add_router(util::make_addr(10, 0, std::uint8_t(f + 1), 1));
+    filters.push_back(std::make_unique<core::ShardedMaficFilter>(
+        &sim, &factory, atr, kFleetShards, cfg, nullptr,
+        0xf1ee7000ULL + f, pool.get()));
+    core::ShardedMaficFilter* filter = filters.back().get();
+    if (fleet && threads > 0) filter->set_fleet(sched.get());
+    filter->set_target(&sinks[f]);
+    filter->activate({util::make_addr(172, 17, 0, 1)});
+  }
+
+  // Measured-phase spans, pre-built so the timed region prices
+  // classification rather than packet construction (construction is
+  // identical serial work in every mode; timing it would only dilute the
+  // speedup under test). uid assignment order is fixed across modes, so
+  // the packet-hash coins are too.
+  util::Rng flow_rng(0xd1ce);
+  std::vector<std::vector<sim::PacketPtr>> spans(kFleetTicks *
+                                                 kFleetFilters);
+  for (std::size_t t = 0; t < kFleetTicks; ++t) {
+    for (std::size_t f = 0; f < kFleetFilters; ++f) {
+      auto& span = spans[t * kFleetFilters + f];
+      span.reserve(kFleetSpan);
+      for (std::size_t j = 0; j < kFleetSpan; ++j) {
+        const auto id = static_cast<std::uint32_t>(
+            f * kFleetFlows + flow_rng.index(kFleetFlows));
+        auto p = factory.make();
+        p->label = fleet_label(id);
+        p->proto = sim::Protocol::kTcp;
+        p->size_bytes = 600;
+        // A live timestamp echo: every packet also exercises the
+        // per-flow RTT estimator, like real ACK-bearing traffic would.
+        p->tsecr = 1e-4;
+        span.push_back(std::move(p));
+      }
+    }
+  }
+
+  const auto schedule = [&sim, fleet](double t, std::function<void()> fn) {
+    // Fleet deliveries are batchable (the LinkTransmitter tags them in
+    // the full Experiment); the serial comparator uses plain events.
+    if (fleet) {
+      sim.schedule_batchable_at(t, std::move(fn));
+    } else {
+      sim.schedule_at(t, std::move(fn));
+    }
+  };
+
+  // Admission rounds (untimed): every flow visits its filter just
+  // before the measured window; Pd opens probation on ~90% per visit, so
+  // two rounds leave ~1% stragglers. Those get admitted during the
+  // measured phase instead — deliberately, so the journal replay + timer
+  // scheduling path is not benched at exactly zero work. Every round's
+  // probation deadline (admit + 2 x max_rtt) lands past the last
+  // delivery tick, measured-phase admissions included.
+  for (std::size_t r = 0; r < kFleetAdmitRounds; ++r) {
+    for (std::size_t f = 0; f < kFleetFilters; ++f) {
+      const double t = kFleetAdmitTime + 0.02 * double(r) + 0.002 * double(f);
+      core::ShardedMaficFilter* filter = filters[f].get();
+      schedule(t, [&factory, filter, f] {
+        std::vector<sim::PacketPtr> pkts;
+        pkts.reserve(kFleetFlows);
+        for (std::size_t i = 0; i < kFleetFlows; ++i) {
+          auto p = factory.make();
+          p->label =
+              fleet_label(static_cast<std::uint32_t>(f * kFleetFlows + i));
+          p->proto = sim::Protocol::kTcp;
+          p->size_bytes = 600;
+          pkts.push_back(std::move(p));
+        }
+        filter->recv_burst(pkts.data(), pkts.size());
+      });
+    }
+  }
+
+  // Measured phase: all filters deliver at the same instant, every tick,
+  // every tick inside every flow's probation window.
+  for (std::size_t t = 0; t < kFleetTicks; ++t) {
+    const double when = kFleetFirstTick + kFleetTickSpacing * double(t);
+    for (std::size_t f = 0; f < kFleetFilters; ++f) {
+      core::ShardedMaficFilter* filter = filters[f].get();
+      auto* span = &spans[t * kFleetFilters + f];
+      schedule(when, [filter, span] {
+        filter->recv_burst(span->data(), span->size());
+        span->clear();
+      });
+    }
+  }
+
+  sim.run_until(kFleetFirstTick - 1e-3);  // admission round, untimed
+  const core::ShardWorkerPool::Occupancy warm =
+      pool != nullptr ? pool->occupancy()
+                      : core::ShardWorkerPool::Occupancy{};
+  const double start = now_ns();
+  sim.run_until(kFleetMeasureEnd);  // the delivery ticks, nothing else
+  const double elapsed = now_ns() - start;
+  const core::ShardWorkerPool::Occupancy timed =
+      pool != nullptr ? pool->occupancy()
+                      : core::ShardWorkerPool::Occupancy{};
+  // Untimed tail: every probation decision fires here, identically in
+  // every mode (pure sim-thread timer work, no pool submissions).
+  sim.run();
+
+  FleetTierRun r;
+  r.measured_packets = kFleetTicks * kFleetFilters * kFleetSpan;
+  r.ns_per_packet = elapsed / double(r.measured_packets);
+  r.survivor_hash = 0x9e3779b97f4a7c15ULL;
+  for (std::size_t f = 0; f < kFleetFilters; ++f) {
+    r.survivors += sinks[f].count;
+    r.survivor_hash = util::mix64(r.survivor_hash ^ sinks[f].hash);
+    r.offered += filters[f]->stats().offered;
+    r.forwarded += filters[f]->stats().forwarded;
+    r.admissions += filters[f]->tables_stats().sft_admissions;
+    r.evictions += filters[f]->tables_stats().sft_evictions;
+  }
+  if (sched != nullptr) {
+    r.drains = sched->drains();
+    r.coalesced = sched->coalesced_drains();
+  }
+  if (pool != nullptr) {
+    // Occupancy over the timed window only (the admission round's share
+    // is subtracted), so tasks/submission and the busy fraction describe
+    // the phase the ns/pkt number was measured on.
+    r.occupancy = timed;
+    r.occupancy.submissions -= warm.submissions;
+    r.occupancy.tasks -= warm.tasks;
+    r.occupancy.busy_ns -= warm.busy_ns;
+    r.occupancy.wall_ns -= warm.wall_ns;
+  }
+  return r;
+}
+
+FleetTierRun run_sim_fleet_tier(std::size_t threads, bool fleet) {
+  FleetTierRun best;
+  // Best of three: the run is deterministic, so the repeats only reject
+  // scheduler noise, never change the fingerprint.
+  for (int pass = 0; pass < 3; ++pass) {
+    FleetTierRun r = run_sim_fleet_once(threads, fleet);
+    if (pass == 0 || r.ns_per_packet < best.ns_per_packet) best = r;
+  }
+  sim::Packet::trim_freelist();
+  return best;
+}
+
+/// The tentpole gate. Always asserts fleet-vs-serial verdict
+/// equivalence and that cross-filter coalescing actually happened (mean
+/// tasks/submission well above one filter's shard count); on a >= 4-core
+/// box additionally gates the >= 3x wall-clock win at 4 workers that
+/// tick batching exists to deliver. Rows land in the trajectory with the
+/// occupancy fields regardless of core count, so the tier set is stable
+/// across boxes for the missing-tier check.
+bool run_sim_fleet_sweep(std::vector<bench::BenchRecord>* records) {
+  struct Mode {
+    const char* name;
+    std::size_t threads;
+    bool fleet;
+  };
+  const Mode modes[] = {{"sim_fleet_threaded_t0", 0, false},
+                        {"sim_fleet_threaded_t2", 2, true},
+                        {"sim_fleet_threaded_t4", 4, true}};
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("\nsim fleet tick-batching sweep (%zu filters x %zu shards, "
+              "%zu-pkt spans, %zu flows/filter, hw threads: %u)\n",
+              kFleetFilters, kFleetShards, kFleetSpan, kFleetFlows, hw);
+  std::printf("%22s %10s %14s %10s %10s %12s\n", "mode", "ns/pkt",
+              "tasks/submit", "busy", "drains", "verdicts");
+
+  bool all_ok = true;
+  FleetTierRun serial;
+  double t4_ns = 0;
+  for (const Mode& m : modes) {
+    const FleetTierRun r = run_sim_fleet_tier(m.threads, m.fleet);
+    const bool is_serial = m.threads == 0;
+    if (is_serial) serial = r;
+    if (m.threads == 4) t4_ns = r.ns_per_packet;
+
+    const bool same = is_serial || r.identical_to(serial);
+    std::printf("%22s %10.2f %14.1f %10.3f %10llu %12s\n", m.name,
+                r.ns_per_packet,
+                m.fleet ? r.occupancy.tasks_per_submission() : 0.0,
+                m.fleet ? r.occupancy.busy_fraction(m.threads) : 0.0,
+                static_cast<unsigned long long>(r.drains),
+                is_serial ? "(baseline)" : (same ? "identical" : "DIVERGED"));
+    if (m.fleet) {
+      // Amdahl ledger: busy_ns/packet is the parallel (in-task) slice,
+      // the rest of the serial baseline is sim-thread residual. What a
+      // k-core box can reach is residual + busy/k — printed so a 1-core
+      // box can still predict (and a 4-core box explain) the speedup.
+      const double busy_per_pkt =
+          double(r.occupancy.busy_ns) / double(r.measured_packets);
+      std::printf("%22s   parallel slice %.2f ns/pkt, serial residual "
+                  "~%.2f ns/pkt\n",
+                  "", busy_per_pkt,
+                  serial.ns_per_packet > busy_per_pkt
+                      ? serial.ns_per_packet - busy_per_pkt
+                      : 0.0);
+    }
+    if (!same) {
+      std::fprintf(stderr, "FAIL: %s verdicts diverged from serial\n",
+                   m.name);
+      all_ok = false;
+    }
+    if (is_serial && (r.survivors == 0 || r.admissions == 0)) {
+      std::fprintf(stderr, "FAIL: fleet scenario produced no traffic\n");
+      all_ok = false;
+    }
+    if (m.fleet) {
+      if (r.drains == 0 || r.coalesced == 0 ||
+          r.occupancy.submissions == 0) {
+        std::fprintf(stderr,
+                     "FAIL: %s never coalesced a multi-filter tick\n",
+                     m.name);
+        all_ok = false;
+      }
+      // Cross-filter batching must dominate: one filter alone can only
+      // contribute kFleetShards tasks to a submission.
+      if (r.occupancy.tasks_per_submission() <= double(kFleetShards)) {
+        std::fprintf(stderr,
+                     "FAIL: %s tasks/submission %.1f <= shard count %zu "
+                     "(ticks are not batching across filters)\n",
+                     m.name, r.occupancy.tasks_per_submission(),
+                     kFleetShards);
+        all_ok = false;
+      }
+    }
+
+    bench::BenchRecord rec{"bench_flow_store_scale", m.name,
+                           double(kFleetFilters * kFleetFlows),
+                           r.ns_per_packet, bench::read_vm_rss_kb(),
+                           m.threads > 0 ? 1 : 0};
+    if (m.fleet) {
+      rec.tasks_per_submission = r.occupancy.tasks_per_submission();
+      rec.busy_fraction = r.occupancy.busy_fraction(m.threads);
+      rec.workers = static_cast<int>(m.threads);
+    }
+    records->push_back(std::move(rec));
+  }
+
+  if (hw >= 4) {
+    const double speedup = serial.ns_per_packet / t4_ns;
+    std::printf("fleet wall-clock speedup at 4 workers: %.2fx "
+                "(gate: >= 3.0x)\n",
+                speedup);
+    if (speedup < 3.0) {
+      std::fprintf(stderr,
+                   "FAIL: fleet tick batching delivered %.2fx at 4 "
+                   "workers, gate requires >= 3.0x\n",
+                   speedup);
+      all_ok = false;
+    }
+  } else {
+    std::printf("fleet speedup gate skipped (%u hw threads < 4); "
+                "equivalence + occupancy rows still recorded\n",
+                hw);
+  }
+  return all_ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool smoke =
       argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  if (argc > 1 && std::strcmp(argv[1], "--fleet") == 0) {
+    // Dev iteration mode: only the fleet tick-batching sweep, no JSON
+    // append (the trajectory must come from full runs so tier sets stay
+    // complete for the missing-tier gate).
+    std::vector<bench::BenchRecord> scratch;
+    return run_sim_fleet_sweep(&scratch) ? 0 : 1;
+  }
 
   if (smoke) {
     // TSan CI mode: exercise the real multi-threaded driver on a small
@@ -721,6 +1113,26 @@ int main(int argc, char** argv) {
                   same ? "identical to serial" : "DIVERGED");
       if (!same) {
         std::fprintf(stderr, "FAIL: smoke threaded sim diverged\n");
+        ok = false;
+      }
+      // Fleet tick batching under TSan: the shared per-tick submission
+      // window (many filters appending tasks, one pool fan-out, deferred
+      // journal replay) race-checked end-to-end, gated on equivalence.
+      cfg.fleet_tick_batch = true;
+      scenario::Experiment fleet_exp(cfg);
+      const scenario::ExperimentResult fleet = fleet_exp.run();
+      const bool fleet_same =
+          serial.events_processed == fleet.events_processed &&
+          serial.sft_admissions == fleet.sft_admissions &&
+          serial.probes_issued == fleet.probes_issued &&
+          fleet.fleet_drains > 0;
+      std::printf("[smoke] fleet tick batching (4 workers): %llu drains, "
+                  "%.1f tasks/submission, %s\n",
+                  static_cast<unsigned long long>(fleet.fleet_drains),
+                  fleet.pool_occupancy.tasks_per_submission(),
+                  fleet_same ? "identical to serial" : "DIVERGED");
+      if (!fleet_same) {
+        std::fprintf(stderr, "FAIL: smoke fleet tick batching diverged\n");
         ok = false;
       }
     }
@@ -900,6 +1312,14 @@ int main(int argc, char** argv) {
   if (!run_sim_threaded_sweep(&records)) {
     std::fprintf(stderr,
                  "FAIL: threaded sim verdicts diverged from serial\n");
+    ok = false;
+  }
+
+  // ---- fleet tick-batching sweep ---------------------------------------
+  if (!run_sim_fleet_sweep(&records)) {
+    std::fprintf(stderr,
+                 "FAIL: fleet tick-batching sweep (divergence or missed "
+                 "speedup gate)\n");
     ok = false;
   }
 

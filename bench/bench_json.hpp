@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <utility>
@@ -39,6 +40,19 @@ struct BenchRecord {
   /// improvement. 0 = unrecorded (legacy rows; the gate treats the
   /// first calibrated entry after them as a series rebase).
   double calib_ns = 0;
+  /// Run sequence number, stamped by append_records (one id per append,
+  /// i.e. per bench invocation; max existing id + 1). Lets the
+  /// regression gate detect a tier that the previous run produced and
+  /// the newest run silently dropped. -1 = stamp on append; rows
+  /// predating the field are exempt from the missing-tier check.
+  int run = -1;
+  /// Fleet tick-batching occupancy (sim_fleet_threaded rows only;
+  /// omitted when <= 0): mean pool tasks per submission and the worker
+  /// busy fraction over submit->complete windows (can exceed 1.0 — the
+  /// sim thread helps drain). See BENCHMARKS.md for how to read them.
+  double tasks_per_submission = 0;
+  double busy_fraction = 0;
+  int workers = -1;  ///< pool worker count for the row; -1 = omitted
 };
 
 /// Machine-speed reference: a serially-dependent mix64 chain (core ALU
@@ -144,6 +158,17 @@ inline void append_records(const char* path,
   }
   const bool fresh = existing.empty();
 
+  // Run stamp for this append: one past the largest id already present.
+  // The file is machine-written (append_records is the only writer), so
+  // a plain substring scan is safe.
+  int run_id = 0;
+  for (std::size_t pos = existing.find("\"run\": ");
+       pos != std::string::npos;
+       pos = existing.find("\"run\": ", pos + 7)) {
+    const int seen = std::atoi(existing.c_str() + pos + 7);
+    if (seen >= run_id) run_id = seen + 1;
+  }
+
   std::FILE* f = std::fopen(path, "wb");
   if (f == nullptr) return;
   std::fputs(fresh ? "[\n" : (existing.c_str()), f);
@@ -160,11 +185,25 @@ inline void append_records(const char* path,
       std::snprintf(calib, sizeof(calib), ", \"calib_ns\": %.3f",
                     r.calib_ns);
     }
+    char occupancy[96] = "";
+    if (r.tasks_per_submission > 0 || r.busy_fraction > 0) {
+      std::snprintf(occupancy, sizeof(occupancy),
+                    ", \"tasks_per_submission\": %.2f, "
+                    "\"busy_fraction\": %.3f",
+                    r.tasks_per_submission, r.busy_fraction);
+    }
+    char workers[24] = "";
+    if (r.workers >= 0) {
+      std::snprintf(workers, sizeof(workers), ", \"workers\": %d",
+                    r.workers);
+    }
     std::fprintf(f,
                  "  {\"bench\": \"%s\", \"name\": \"%s\", \"flows\": %.0f, "
-                 "\"ns_per_packet\": %.2f, \"rss_kb\": %.0f%s%s}%s\n",
+                 "\"ns_per_packet\": %.2f, \"rss_kb\": %.0f%s%s%s%s, "
+                 "\"run\": %d}%s\n",
                  r.bench.c_str(), r.name.c_str(), r.flows, r.ns_per_packet,
-                 r.rss_kb, threads, calib,
+                 r.rss_kb, threads, calib, occupancy, workers,
+                 r.run >= 0 ? r.run : run_id,
                  i + 1 < records.size() ? "," : "");
   }
   std::fputs("]\n", f);

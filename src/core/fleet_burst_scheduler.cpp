@@ -1,0 +1,31 @@
+#include "core/fleet_burst_scheduler.hpp"
+
+#include "core/sharded_mafic_filter.hpp"
+
+namespace mafic::core {
+
+void FleetBurstScheduler::drain() {
+  // Snapshot the arrival-ordered set; anything enqueued while we
+  // complete (zero-delay topologies only) stays for the next drain.
+  const std::size_t count = pending_.size();
+  if (count == 0) return;
+  ++drains_;
+  if (count > 1) ++coalesced_;
+  spans_ += count;
+
+  tasks_.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    pending_[i]->fleet_prepare(tasks_);
+  }
+  if (!tasks_.empty()) {
+    pool_->submit(tasks_.data(), tasks_.size());
+    pool_->wait();
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    pending_[i]->fleet_complete();
+  }
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(count));
+}
+
+}  // namespace mafic::core

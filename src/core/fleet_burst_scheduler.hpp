@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file fleet_burst_scheduler.hpp
+/// Fleet-wide tick batching for the threaded shard datapath. PR 5's
+/// speculative path fans each filter's burst out to the worker pool on
+/// its own: every uplink delivery costs one submit/join pair, and with
+/// many ingress filters per simulated instant the pool ping-pongs
+/// through many small batches per tick — condvar hops and worker
+/// wake-ups dominate, and shards too small to amortize a hop run
+/// serially anyway.
+///
+/// This scheduler coalesces them. Fleet-mode filters
+/// (ShardedMaficFilter::set_fleet) do not classify inside their
+/// delivery event; they move the span into a held buffer and enqueue
+/// themselves here. The simulator's tick drain (sim::TickDrain,
+/// Simulator::set_tick_drain) calls drain() before the run loop touches
+/// anything that is not another same-instant batchable delivery, and
+/// the drain runs three phases:
+///
+///   1. prepare  — each pending filter, in arrival order, partitions its
+///                 held span and opens its shard journals
+///                 (ShardedMaficFilter::fleet_prepare), appending one
+///                 heterogeneous pool task per non-empty (filter, shard)
+///                 sub-span;
+///   2. execute  — ONE ShardWorkerPool::submit covers every sub-span of
+///                 the tick, so the whole fleet's classification work
+///                 shares a single fan-out/join;
+///   3. complete — each filter, again in arrival order, replays its
+///                 journals and finishes its burst
+///                 (ShardedMaficFilter::fleet_complete).
+///
+/// Determinism: arrival order IS serial order. A filter enqueues itself
+/// synchronously from its delivery event, and the simulator only defers
+/// across events that are batchable and at the same instant, so the
+/// pending list is exactly the sequence of delivery events the serial
+/// run loop would have popped. Phase 3 replays each filter's seam ops
+/// (timers, probes, ledger callbacks) in that sequence, and the filters
+/// share no engine state, so every externally visible effect lands in
+/// the order the unbatched path produces — verdicts, timer wheel
+/// insertion order, probe emission and counters are bit-identical
+/// (test_core_fleet_sim pins this against the serial path).
+///
+/// Re-entrancy: completing a burst forwards survivors downstream, which
+/// only schedules future events (transmission takes non-zero time), so
+/// filters cannot re-enqueue synchronously during a drain. If one ever
+/// does (zero-delay custom topologies), the new arrival is left pending
+/// and the simulator drains again before its next step.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/shard_worker_pool.hpp"
+#include "sim/simulator.hpp"
+
+namespace mafic::core {
+
+class ShardedMaficFilter;
+
+class FleetBurstScheduler final : public sim::TickDrain {
+ public:
+  /// `pool` is non-owning and shared with the filters; must outlive the
+  /// scheduler.
+  explicit FleetBurstScheduler(ShardWorkerPool* pool) : pool_(pool) {}
+
+  FleetBurstScheduler(const FleetBurstScheduler&) = delete;
+  FleetBurstScheduler& operator=(const FleetBurstScheduler&) = delete;
+
+  /// Registers a filter holding a deferred span. Called by the filter
+  /// itself (once per tick, on its first held span); arrival order is
+  /// preserved through the drain.
+  void enqueue(ShardedMaficFilter* f) { pending_.push_back(f); }
+
+  // --- sim::TickDrain ---
+  bool pending() const noexcept override { return !pending_.empty(); }
+  void drain() override;
+
+  ShardWorkerPool* pool() const noexcept { return pool_; }
+
+  /// Drains executed (each = one pool submission window, possibly with
+  /// zero tasks when every held span was all-cold).
+  std::uint64_t drains() const noexcept { return drains_; }
+  /// Drains that coalesced more than one filter — the ticks where fleet
+  /// batching actually saved submit/join pairs.
+  std::uint64_t coalesced_drains() const noexcept { return coalesced_; }
+  /// Filter spans drained in total.
+  std::uint64_t spans_drained() const noexcept { return spans_; }
+  double spans_per_drain() const noexcept {
+    return drains_ == 0 ? 0.0
+                        : static_cast<double>(spans_) /
+                              static_cast<double>(drains_);
+  }
+
+ private:
+  ShardWorkerPool* pool_;
+  std::vector<ShardedMaficFilter*> pending_;  ///< arrival order
+  std::vector<ShardWorkerPool::Task> tasks_;  ///< per-tick scratch
+  std::uint64_t drains_ = 0;
+  std::uint64_t coalesced_ = 0;
+  std::uint64_t spans_ = 0;
+};
+
+}  // namespace mafic::core

@@ -1,9 +1,19 @@
 #include "core/shard_worker_pool.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <utility>
 
 namespace mafic::core {
+
+namespace {
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
 
 ShardWorkerPool::ShardWorkerPool(std::size_t workers) {
   if (workers < 1) workers = 1;
@@ -23,35 +33,69 @@ ShardWorkerPool::~ShardWorkerPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ShardWorkerPool::submit(TaskFn fn, std::size_t n) {
+void ShardWorkerPool::publish(TaskFn fn, const Task* tasks, std::size_t n) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     // One batch at a time; the caller pairs every submit with a wait.
     assert(!batch_open_ && "submit() while a batch is still in flight");
     fn_ = std::move(fn);
+    tasks_ = tasks;
     n_tasks_ = n;
     next_task_ = 0;
     finished_ = 0;
     batch_open_ = n > 0;
     ++epoch_;
+    if (n > 0) {
+      ++occupancy_.submissions;
+      occupancy_.tasks += n;
+      if (n > occupancy_.max_tasks) occupancy_.max_tasks = n;
+      batch_start_ns_ = steady_ns();
+    }
   }
   if (n > 0) work_cv_.notify_all();
 }
 
+void ShardWorkerPool::submit(TaskFn fn, std::size_t n) {
+  publish(std::move(fn), nullptr, n);
+}
+
+void ShardWorkerPool::submit(const Task* tasks, std::size_t n) {
+  publish(TaskFn{}, tasks, n);
+}
+
+ShardWorkerPool::Occupancy ShardWorkerPool::occupancy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return occupancy_;
+}
+
 std::size_t ShardWorkerPool::drain_tasks() {
   std::size_t ran = 0;
+  std::uint64_t busy = 0;
   for (;;) {
     std::size_t idx;
+    const Task* tasks;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (!batch_open_ || next_task_ >= n_tasks_) return ran;
+      if (!batch_open_ || next_task_ >= n_tasks_) {
+        occupancy_.busy_ns += busy;
+        return ran;
+      }
       idx = next_task_++;
+      tasks = tasks_;
     }
-    fn_(idx);  // fn_ is stable while the batch is open
+    // fn_/tasks_ are stable while the batch is open.
+    const std::uint64_t t0 = steady_ns();
+    if (tasks != nullptr) {
+      tasks[idx].run(tasks[idx].ctx, tasks[idx].arg);
+    } else {
+      fn_(idx);
+    }
+    busy += steady_ns() - t0;
     ++ran;
     std::lock_guard<std::mutex> lock(mu_);
     if (++finished_ == n_tasks_) {
       batch_open_ = false;
+      occupancy_.wall_ns += steady_ns() - batch_start_ns_;
       done_cv_.notify_all();
     }
   }
@@ -61,6 +105,7 @@ void ShardWorkerPool::wait() {
   drain_tasks();
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return !batch_open_ || finished_ == n_tasks_; });
+  tasks_ = nullptr;  // the caller's task array may die after wait()
 }
 
 void ShardWorkerPool::worker_loop() {

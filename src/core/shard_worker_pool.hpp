@@ -27,6 +27,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -39,6 +40,42 @@ class ShardWorkerPool {
   /// Task callback: invoked once per task index in [0, n); any thread,
   /// any order, each index exactly once.
   using TaskFn = std::function<void(std::size_t)>;
+
+  /// One entry of a heterogeneous task list (the fleet scheduler's
+  /// per-tick batch: every (filter, shard) sub-span of the tick as its
+  /// own task). A plain function pointer + context so building the list
+  /// never allocates.
+  struct Task {
+    void (*run)(void* ctx, std::size_t arg) = nullptr;
+    void* ctx = nullptr;
+    std::size_t arg = 0;
+  };
+
+  /// Pool occupancy counters, accumulated across batches. Pure
+  /// diagnostics (mutated only under the pool mutex; never read by task
+  /// bodies), reported by the fleet bench tier.
+  struct Occupancy {
+    std::uint64_t submissions = 0;  ///< non-empty batches submitted
+    std::uint64_t tasks = 0;        ///< tasks across all batches
+    std::uint64_t max_tasks = 0;    ///< largest single batch
+    /// Wall time summed over every thread's task executions (ns).
+    std::uint64_t busy_ns = 0;
+    /// Wall time summed over submit()->batch-complete windows (ns).
+    std::uint64_t wall_ns = 0;
+
+    double tasks_per_submission() const noexcept {
+      return submissions == 0 ? 0.0
+                              : double(tasks) / double(submissions);
+    }
+    /// Fraction of `workers` x wall-clock capacity spent inside task
+    /// bodies. The submitting thread helps drain, so a saturated pool
+    /// can exceed 1.0.
+    double busy_fraction(std::size_t workers) const noexcept {
+      return wall_ns == 0 || workers == 0
+                 ? 0.0
+                 : double(busy_ns) / (double(workers) * double(wall_ns));
+    }
+  };
 
   /// Spawns `workers` persistent threads (at least 1).
   explicit ShardWorkerPool(std::size_t workers);
@@ -55,6 +92,14 @@ class ShardWorkerPool {
   /// batch may be in flight; call wait() before the next submit().
   void submit(TaskFn fn, std::size_t n);
 
+  /// Heterogeneous batch: task index i runs tasks[i].run(ctx, arg). The
+  /// array must stay alive and unchanged until wait() returns. Same
+  /// one-batch-in-flight contract as submit(TaskFn, n).
+  void submit(const Task* tasks, std::size_t n);
+
+  /// Occupancy counters snapshot (consistent; taken under the lock).
+  Occupancy occupancy() const;
+
   /// Drains remaining task indices on the calling thread, then blocks
   /// until every task (including those running on workers) has finished.
   /// No-op when no batch is in flight.
@@ -65,19 +110,25 @@ class ShardWorkerPool {
   /// Claims and runs task indices until the batch's index space is
   /// exhausted; returns the number of tasks this thread completed.
   std::size_t drain_tasks();
+  /// Shared publication path of both submit overloads; call under no
+  /// lock with exactly one of fn/tasks set.
+  void publish(TaskFn fn, const Task* tasks, std::size_t n);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;  ///< workers wait for a new epoch
   std::condition_variable done_cv_;  ///< wait() blocks on completion
 
   // Batch state, all guarded by mu_ (task *bodies* run unlocked).
   TaskFn fn_;
+  const Task* tasks_ = nullptr;  ///< heterogeneous batch, else nullptr
   std::size_t n_tasks_ = 0;
   std::size_t next_task_ = 0;
   std::size_t finished_ = 0;
   std::uint64_t epoch_ = 0;
   bool batch_open_ = false;
   bool stop_ = false;
+  Occupancy occupancy_;
+  std::uint64_t batch_start_ns_ = 0;  ///< steady-clock stamp at submit
 
   std::vector<std::thread> threads_;
 };

@@ -80,11 +80,17 @@ void ShardedFilter::partition_span(const sim::Packet* const* pkts,
   out.hot.resize(n);
   out.keys.resize(n);
   out.shard.resize(n);
+  partition_span_range(pkts, 0, n, out);
+}
+
+void ShardedFilter::partition_span_range(const sim::Packet* const* pkts,
+                                         std::size_t begin, std::size_t end,
+                                         SpanPartition& out) const {
   // Every shard shares the activation state and victim set (the control
   // plane fans out), so the first engine's hot gate decides for all of
   // them — cold packets skip the hash and the shard-id slice.
   const FilterEngine& gate = *engines_.front();
-  for (std::size_t i = 0; i < n; ++i) {
+  for (std::size_t i = begin; i < end; ++i) {
     const bool h = gate.wants(*pkts[i]);
     out.hot[i] = h ? 1 : 0;
     if (h) {

@@ -135,6 +135,17 @@ class ShardedFilter {
   void partition_span(const sim::Packet* const* pkts, std::size_t n,
                       SpanPartition& out) const;
 
+  /// Range slice of the same pass, for cooperative worker-side
+  /// partitioning: fills out.hot/keys/shard for [begin, end) only. The
+  /// caller sizes the three arrays to the full span first; concurrent
+  /// workers then partition disjoint chunks race-free (each index is
+  /// written by exactly the chunk that covers it). Identical per-packet
+  /// routine to partition_span, so chunked and whole-span partitions
+  /// cannot disagree.
+  void partition_span_range(const sim::Packet* const* pkts,
+                            std::size_t begin, std::size_t end,
+                            SpanPartition& out) const;
+
   /// Batch-inspects an indirect span (what a simulator burst delivers)
   /// in ARRIVAL order: runs partition_span, prefetches each hot key's
   /// home slot in its home shard's store a window ahead, then classifies

@@ -26,10 +26,16 @@
 /// (ShardedFilter::inspect_batch, shared partition pass + windowed
 /// prefetch + sequential classification by home engine).
 ///
-/// Speculative threaded mode (pool != nullptr): the burst span is
-/// partitioned once into per-shard sub-spans (stable within-shard
-/// arrival order), fanned out to a persistent ShardWorkerPool, and each
-/// worker runs its shard's FilterEngine::inspect_batch_keyed against
+/// Speculative threaded mode (pool != nullptr): the burst span is fanned
+/// out to a persistent ShardWorkerPool, one task per shard. The
+/// partition is worker-side and cooperative: tasks atomically claim span
+/// chunks and run the shared gate/hash/home-shard routine
+/// (ShardedFilter::partition_span_range) over them — each packet hashed
+/// exactly once, in parallel, so the submitting thread's fan-out cost
+/// does not scale with span size — then barrier and gather their own
+/// sub-spans (stable within-shard arrival order) off the partition
+/// arrays. Each worker then runs its shard's
+/// FilterEngine::inspect_batch_keyed against
 /// shard-local store/wheel-slots/RNG — recording every timer schedule,
 /// cancel, probe request and callback into that shard's ShardSeamJournal
 /// instead of touching the shared wheel, prober or ledger. After the
@@ -53,7 +59,20 @@
 /// remaining caveat is capacity (per-shard tables come from the config
 /// verbatim, so N shards hold N times the flows — keep working sets
 /// under the single-shard bounds when comparing).
+///
+/// Fleet mode (set_fleet, threaded only): instead of fanning each burst
+/// out on its own, recv_burst moves the span into a held buffer and
+/// enqueues this filter with the FleetBurstScheduler; the simulator's
+/// tick drain later runs fleet_prepare (partition-array sizing + journal
+/// open, one cooperative pool Task per shard) for every same-instant
+/// filter, ONE shared pool submission, then fleet_complete (journal
+/// replay + finish_burst) in arrival order — see
+/// fleet_burst_scheduler.hpp for the determinism argument. Same-tick
+/// spans to the SAME filter (impossible through a real LinkTransmitter,
+/// whose trains serialize for non-zero time) concatenate into one held
+/// span at the first span's arrival position.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -71,6 +90,8 @@
 #include "sim/simulator.hpp"
 
 namespace mafic::core {
+
+class FleetBurstScheduler;
 
 class ShardedMaficFilter final : public sim::InlineFilter,
                                  public DefenseActuator {
@@ -102,8 +123,26 @@ class ShardedMaficFilter final : public sim::InlineFilter,
   void set_offered_callback(FilterEngine::OfferedCallback cb);
   void set_classification_callback(FilterEngine::ClassificationCallback cb);
 
+  /// Switches bursts onto the fleet-batched path (threaded mode only;
+  /// asserts otherwise). The scheduler is non-owning and shared across
+  /// the experiment's filters; it must be installed as the simulator's
+  /// tick drain and its pool must be this filter's pool.
+  void set_fleet(FleetBurstScheduler* fleet);
+
+  /// Fleet phase 1 (scheduler only): sizes the held span's partition
+  /// arrays, opens the shard journals, and appends one cooperative pool
+  /// task per shard. The task array is owned by the scheduler and stays
+  /// alive through the pool's wait().
+  void fleet_prepare(std::vector<ShardWorkerPool::Task>& tasks);
+
+  /// Fleet phase 3 (scheduler only): replays the shard journals in span
+  /// order, applies the verdicts, and forwards the surviving packets
+  /// downstream (InlineFilter::finish_burst). Clears the held span.
+  void fleet_complete();
+
   std::size_t num_shards() const noexcept { return sharded_.shard_count(); }
   bool threaded() const noexcept { return pool_ != nullptr; }
+  bool fleet_mode() const noexcept { return fleet_ != nullptr; }
   ShardedFilter& sharded() noexcept { return sharded_; }
   const ShardedFilter& sharded() const noexcept { return sharded_; }
   const FilterEngine& engine(std::size_t i) const noexcept {
@@ -127,6 +166,13 @@ class ShardedMaficFilter final : public sim::InlineFilter,
   /// Bursts that took the speculative threaded path (diagnostics; stays
   /// zero without a pool).
   std::uint64_t threaded_bursts() const noexcept { return threaded_bursts_; }
+  /// Spans deferred into the fleet tick drain (diagnostics; stays zero
+  /// outside fleet mode).
+  std::uint64_t fleet_bursts() const noexcept { return fleet_bursts_; }
+
+  /// Fleet mode defers the span into the tick drain; otherwise the
+  /// inherited inspect-then-finish path runs.
+  void recv_burst(sim::PacketPtr* pkts, std::size_t n) override;
 
  protected:
   Decision inspect(sim::Packet& p) override;
@@ -163,8 +209,22 @@ class ShardedMaficFilter final : public sim::InlineFilter,
   };
 
   void inspect_burst_threaded(std::size_t n, Decision* out);
+  /// Phase 1 of the threaded walk: size the shared partition arrays,
+  /// stash `out` for the workers' Decision scatter, arm the chunk-claim
+  /// counters and open the shard journals. The partition itself is
+  /// worker-side (run_shard), so this phase costs the submitting thread
+  /// nothing per packet beyond amortised resizes.
+  void prepare_shards(std::size_t n, Decision* out);
+  /// Phase 3: close the journals and replay the seam ops via a K-way
+  /// span-index merge of the per-shard op streams (apply_op, exact
+  /// serial order). Per-packet work already happened worker-side — the
+  /// verdict scatter in run_shard — so this walk scales with the number
+  /// of seam ops, not the span size.
+  void complete_shards(std::size_t n, Decision* out);
   /// Worker-side body: one shard's sub-span through the journaled batch.
   void run_shard(std::size_t s);
+  /// Pool-task trampoline for the fleet scheduler's heterogeneous batch.
+  static void run_shard_task(void* ctx, std::size_t arg);
   /// Replays one journaled op (sim thread, span-merge order).
   void apply_op(std::size_t s, const ShardSeamJournal::Op& op);
 
@@ -174,6 +234,7 @@ class ShardedMaficFilter final : public sim::InlineFilter,
   Prober prober_;
   std::vector<ShardProbeSink> shard_sinks_;  ///< one per shard, stable
   ShardWorkerPool* pool_;  ///< non-owning; nullptr = serial bursts
+  FleetBurstScheduler* fleet_ = nullptr;  ///< non-owning; see set_fleet
   /// Threaded mode only: shard i's buffering seams (stable addresses).
   std::vector<std::unique_ptr<ShardSeamJournal>> journals_;
   ShardedFilter sharded_;
@@ -187,11 +248,27 @@ class ShardedMaficFilter final : public sim::InlineFilter,
   std::vector<const sim::Packet*> batch_ptrs_;
   std::vector<EngineVerdict> batch_verdicts_;
   ShardedFilter::SpanPartition part_;
+  /// Cooperative worker-side partition state (see run_shard): tasks
+  /// atomically claim span chunks until none remain, then barrier on
+  /// chunks_done_ before gathering their sub-spans. Re-armed per burst
+  /// by prepare_shards; the pool's join fences the final reads.
+  std::uint32_t chunk_total_ = 0;
+  std::atomic<std::uint32_t> next_chunk_{0};
+  std::atomic<std::uint32_t> chunks_done_{0};
+  /// Destination of the workers' per-packet Decision scatter for the
+  /// burst in flight (caller's array or held_decisions_). Set by
+  /// prepare_shards; workers write disjoint span indices.
+  Decision* cur_out_ = nullptr;
   std::vector<SubSpan> sub_;
   std::vector<std::size_t> op_cursor_;
-  std::vector<std::size_t> sub_pos_;
   std::size_t max_burst_ = 0;
   std::uint64_t threaded_bursts_ = 0;
+  std::uint64_t fleet_bursts_ = 0;
+
+  /// Fleet mode: the span(s) deferred this tick (we own the packets
+  /// until fleet_complete forwards the survivors) and their decisions.
+  std::vector<sim::PacketPtr> held_;
+  std::vector<Decision> held_decisions_;
 };
 
 }  // namespace mafic::core

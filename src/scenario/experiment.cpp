@@ -261,6 +261,11 @@ void Experiment::build_defense() {
   if (cfg_.num_shards > 0 && cfg_.shard_threads > 0) {
     shard_pool_ =
         std::make_unique<core::ShardWorkerPool>(cfg_.shard_threads);
+    if (cfg_.fleet_tick_batch) {
+      fleet_ =
+          std::make_unique<core::FleetBurstScheduler>(shard_pool_.get());
+      sim_.set_tick_drain(fleet_.get());
+    }
   }
 
   coordinator_ = std::make_unique<pushback::PushbackCoordinator>(
@@ -290,6 +295,13 @@ void Experiment::build_defense() {
           });
           core::ShardedMaficFilter* raw = filter.get();
           access.uplink->add_tail_tap(std::move(filter));
+          if (fleet_ != nullptr) {
+            // Defer this filter's spans into the shared tick drain and
+            // tag the uplink's deliveries batchable so the simulator can
+            // coalesce same-instant spans across the fleet.
+            raw->set_fleet(fleet_.get());
+            access.uplink->transmitter().set_batchable_delivery(true);
+          }
           sharded_filters_.push_back(raw);
           coordinator_->register_actuator(access.router, raw);
           break;
@@ -413,6 +425,15 @@ ExperimentResult Experiment::snapshot_result() const {
     const auto es = f->stats();
     r.screened_sources += es.screened_sources;
     r.probes_issued += es.probes_issued;
+  }
+  if (shard_pool_ != nullptr) {
+    r.pool_occupancy = shard_pool_->occupancy();
+    r.pool_workers = shard_pool_->worker_count();
+  }
+  if (fleet_ != nullptr) {
+    r.fleet_drains = fleet_->drains();
+    r.fleet_coalesced_drains = fleet_->coalesced_drains();
+    r.fleet_spans = fleet_->spans_drained();
   }
 
   // Per-victim decision breakdown (engine-side accounting keyed by the

@@ -18,9 +18,9 @@ struct ItemGreater {
 };
 }  // namespace
 
-EventId EventQueue::push(SimTime t, EventFn fn) {
+EventId EventQueue::push(SimTime t, EventFn fn, bool batchable) {
   const EventId id = next_id_++;
-  heap_.push_back(Item{t, id, std::move(fn)});
+  heap_.push_back(Item{t, id, std::move(fn), batchable});
   std::push_heap(heap_.begin(), heap_.end(), ItemGreater{});
   live_.insert(id);
   return id;
@@ -57,6 +57,12 @@ SimTime EventQueue::next_time() {
   drop_dead_head();
   assert(!heap_.empty());
   return heap_.front().time;
+}
+
+bool EventQueue::next_is_batchable() {
+  drop_dead_head();
+  assert(!heap_.empty());
+  return heap_.front().batchable;
 }
 
 EventQueue::Popped EventQueue::pop() {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <string>
 #include <vector>
@@ -88,6 +89,102 @@ TEST(ProportionalDropper, DeactivateStopsDropping) {
       [&](const sim::Packet&, sim::DropReason, sim::NodeId) { ++drops; });
   for (int i = 0; i < 1000; ++i) d.recv(victim_packet(kVictim));
   EXPECT_EQ(drops, 0);
+}
+
+// Fate of every packet pushed through a dropper: uid -> dropped?
+std::map<std::uint64_t, bool> run_fates(ProportionalDropper& d,
+                                        std::vector<sim::PacketPtr> pkts,
+                                        bool as_burst,
+                                        std::size_t span = 7) {
+  std::map<std::uint64_t, bool> fate;
+  class Sink final : public sim::Connector {
+   public:
+    explicit Sink(std::map<std::uint64_t, bool>* f) : f_(f) {}
+    void recv(sim::PacketPtr p) override { (*f_)[p->uid] = false; }
+    std::map<std::uint64_t, bool>* f_;
+  } sink(&fate);
+  d.set_target(&sink);
+  d.set_drop_handler([&](const sim::Packet& p, sim::DropReason,
+                         sim::NodeId) { fate[p.uid] = true; });
+  if (as_burst) {
+    for (std::size_t i = 0; i < pkts.size(); i += span) {
+      const std::size_t n = std::min(span, pkts.size() - i);
+      d.recv_burst(pkts.data() + i, n);
+    }
+  } else {
+    for (auto& p : pkts) d.recv(std::move(p));
+  }
+  return fate;
+}
+
+std::vector<sim::PacketPtr> coin_workload(bool reversed = false) {
+  std::vector<sim::PacketPtr> pkts;
+  for (std::uint32_t f = 0; f < 200; ++f) {
+    auto p = victim_packet(kVictim);
+    p->label.src = util::make_addr(172, 16, 0, std::uint8_t(f % 250));
+    p->label.sport = std::uint16_t(1024 + f);
+    p->uid = 100000 + f;
+    pkts.push_back(std::move(p));
+  }
+  if (reversed) std::reverse(pkts.begin(), pkts.end());
+  return pkts;
+}
+
+TEST(ProportionalDropper, PacketHashCoinIsOrderAndBatchInvariant) {
+  // The stateless coin (the kPacketHash shape FilterEngine uses) must
+  // give each packet the same fate through per-packet recv, through
+  // burst spans, and in reversed inspection order — none of which holds
+  // for the stateful RNG stream.
+  const auto fresh = [] {
+    ProportionalDropper d(0.7, util::Rng(3));
+    d.set_coin(ProportionalDropper::CoinKind::kPacketHash, 0xfeedULL);
+    d.activate({kVictim});
+    return d;
+  };
+  ProportionalDropper scalar = fresh();
+  ProportionalDropper burst = fresh();
+  ProportionalDropper burst_rev = fresh();
+  const auto fate_scalar = run_fates(scalar, coin_workload(), false);
+  const auto fate_burst = run_fates(burst, coin_workload(), true);
+  const auto fate_rev = run_fates(burst_rev, coin_workload(true), true);
+  ASSERT_EQ(fate_scalar.size(), 200u);
+  EXPECT_EQ(fate_scalar, fate_burst);
+  EXPECT_EQ(fate_scalar, fate_rev);
+  EXPECT_EQ(scalar.stats().offered, 200u);
+  EXPECT_EQ(scalar.stats().dropped, burst.stats().dropped);
+  EXPECT_EQ(scalar.stats().forwarded, burst_rev.stats().forwarded);
+
+  // Golden pin at (pd=0.7, seed=0xfeed): exact drop count, so the coin
+  // construction cannot drift silently.
+  EXPECT_EQ(scalar.stats().dropped, 148u);
+}
+
+TEST(ProportionalDropper, PacketHashCoinHitsConfiguredRate) {
+  ProportionalDropper d(0.7, util::Rng(3));
+  d.set_coin(ProportionalDropper::CoinKind::kPacketHash, 0x5eedULL);
+  d.activate({kVictim});
+  int drops = 0;
+  d.set_drop_handler(
+      [&](const sim::Packet&, sim::DropReason, sim::NodeId) { ++drops; });
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    auto p = victim_packet(kVictim);
+    p->uid = std::uint64_t(i);
+    p->label.sport = std::uint16_t(i & 0xffff);
+    d.recv(std::move(p));
+  }
+  EXPECT_NEAR(double(drops) / n, 0.7, 0.02);
+  // Degenerate probabilities stay exact.
+  ProportionalDropper never(0.0, util::Rng(3));
+  never.set_coin(ProportionalDropper::CoinKind::kPacketHash, 1);
+  never.activate({kVictim});
+  ProportionalDropper always(1.0, util::Rng(3));
+  always.set_coin(ProportionalDropper::CoinKind::kPacketHash, 1);
+  always.activate({kVictim});
+  const auto none = run_fates(never, coin_workload(), true);
+  const auto all = run_fates(always, coin_workload(), true);
+  for (const auto& [uid, dropped] : none) EXPECT_FALSE(dropped) << uid;
+  for (const auto& [uid, dropped] : all) EXPECT_TRUE(dropped) << uid;
 }
 
 TEST(AggregateLimiter, EnforcesRateLimit) {

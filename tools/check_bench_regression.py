@@ -28,8 +28,20 @@ it). When only one side carries a calibration the pair straddles the
 instrumentation boundary and the comparison is skipped as a loud series
 rebase; two uncalibrated legacy entries compare raw, as before.
 
+Rows also carry a "run" sequence number (one id per bench invocation,
+stamped on append). Besides the slowdown gate, the script diffs the tier
+sets of each bench's last two runs: a tier the previous run produced and
+the newest run silently dropped is a failure — a removed benchmark must
+be removed loudly, not by quietly shrinking coverage. The missing-tier
+comparison keys on (name, flows) only, NOT on the threads/serial mode
+tag, because the same sweep legitimately flips tags across boxes with
+different core counts. Rows predating the "run" field are exempt.
+--allow-missing downgrades missing tiers to warnings (for intentional
+retirements; pair it with a trajectory note).
+
 Usage:
     tools/check_bench_regression.py BENCH_flow_store.json [--threshold 0.10]
+        [--allow-missing]
 
 A tier seen for the first time passes trivially (there is nothing to
 compare against); a shrinking ns/packet is reported as an improvement.
@@ -49,6 +61,11 @@ def main() -> int:
         type=float,
         default=0.10,
         help="max tolerated fractional ns/packet regression (default 0.10)",
+    )
+    parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="downgrade tiers missing from the newest run to warnings",
     )
     args = parser.parse_args()
 
@@ -116,11 +133,42 @@ def main() -> int:
               f"{prev:.2f} -> {scaled_last:.2f} ns/pkt ({delta:+.1%})"
               f"{note}")
 
-    if failures:
-        print(f"\nFAIL: {len(failures)} tier(s) regressed more than "
-              f"{args.threshold:.0%}:")
-        for tier, prev, last, delta in failures:
-            print(f"  {tier}: {prev:.2f} -> {last:.2f} ns/pkt ({delta:+.1%})")
+    # Missing-tier check: per bench, the newest run must cover every
+    # (name, flows) tier the run before it produced. Mode-tag agnostic
+    # (see module docstring); rows without a "run" id are exempt.
+    runs_by_bench = defaultdict(lambda: defaultdict(set))
+    for r in records:
+        run = r.get("run")
+        if run is None:
+            continue
+        runs_by_bench[r.get("bench", "?")][int(run)].add(
+            (r.get("name", "?"), r.get("flows", 0)))
+
+    missing = []
+    for bench, runs in sorted(runs_by_bench.items()):
+        if len(runs) < 2:
+            continue
+        order = sorted(runs)
+        prev_run, last_run = order[-2], order[-1]
+        for name, flows in sorted(runs[prev_run] - runs[last_run]):
+            missing.append(f"{bench}/{name}@{flows:.0f} "
+                           f"(in run {prev_run}, absent from run {last_run})")
+    if missing:
+        label = "WARNING" if args.allow_missing else "FAIL"
+        print(f"\n{label}: {len(missing)} tier(s) from the previous run "
+              f"are missing from the newest run:")
+        for m in missing:
+            print(f"  {m}")
+        if not args.allow_missing:
+            print("pass --allow-missing if the retirement is intentional")
+
+    if failures or (missing and not args.allow_missing):
+        if failures:
+            print(f"\nFAIL: {len(failures)} tier(s) regressed more than "
+                  f"{args.threshold:.0%}:")
+            for tier, prev, last, delta in failures:
+                print(f"  {tier}: {prev:.2f} -> {last:.2f} ns/pkt "
+                      f"({delta:+.1%})")
         return 1
     print("\nbench trajectory within tolerance")
     return 0
