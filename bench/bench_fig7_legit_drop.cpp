@@ -1,19 +1,63 @@
 // Fig. 7 reproduction: legitimate packet dropping rate (Lr) vs total
 // traffic volume for Pd in {70, 80, 90}% — the collateral damage of the
 // probing phase plus any misclassification.
+//
+// Unlike the other figure benches this one also feeds the trajectory:
+// one BENCH_flow_store.json row per Pd series carrying the
+// largest-volume Lr in the `lr` field (ns_per_packet = 0, which the
+// time gate skips — these rows track the paper's accuracy claim, not
+// speed). The replay harness's probation tier reports the same metric
+// from the datapath side (bench_replay_path, replay_probation), so the
+// sim-derived and replay-derived collateral-damage numbers sit next to
+// each other in one file.
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
+#include "util/table_printer.hpp"
 
 int main() {
   using namespace mafic;
   using namespace mafic::bench;
 
-  run_figure("Fig. 7: legitimate packet dropping rate vs volume, by Pd",
-             volume_axis(), pd_series(),
-             [](const metrics::Metrics& m) { return m.lr * 100; }, "Lr(%)",
-             {}, 2);
+  const Axis axis = volume_axis();
+  const std::vector<Series> series = pd_series();
+
+  std::printf("\n== Fig. 7: legitimate packet dropping rate vs volume, "
+              "by Pd ==\n");
+  std::vector<std::string> headers{axis.label};
+  for (const auto& s : series) headers.push_back(s.label + " Lr(%)");
+  util::TablePrinter table(std::move(headers));
+
+  // Same grid walk as run_figure, kept local so the largest-volume Lr
+  // per series is in hand for the trajectory rows.
+  std::vector<double> final_lr(series.size(), 0.0);
+  for (const double x : axis.values) {
+    std::vector<std::string> row{util::TablePrinter::num(x, 0)};
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      scenario::ExperimentConfig cfg;
+      axis.apply(cfg, x);
+      series[s].apply(cfg);
+      const auto m = scenario::run_averaged(cfg, kSeedsPerPoint);
+      row.push_back(util::TablePrinter::num(m.lr * 100, 2));
+      if (x == axis.values.back()) final_lr[s] = m.lr;
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+
+  std::vector<BenchRecord> records;
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    BenchRecord r{"bench_fig7_legit_drop", "fig7_" + series[s].label,
+                  axis.values.back(), /*ns_per_packet=*/0,
+                  read_vm_rss_kb()};
+    r.lr = final_lr[s];
+    records.push_back(std::move(r));
+  }
+  append_records(kFlowStoreJson, records);
 
   std::printf("\npaper: Lr insignificant even at high Pd; stabilizes "
               "around ~1%% (bounded by ~3%%) as volume grows\n");
+  std::printf("largest-volume Lr per Pd series appended to %s\n",
+              kFlowStoreJson);
   return 0;
 }

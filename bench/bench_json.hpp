@@ -53,6 +53,18 @@ struct BenchRecord {
   double tasks_per_submission = 0;
   double busy_fraction = 0;
   int workers = -1;  ///< pool worker count for the row; -1 = omitted
+  /// Replay-harness throughput fields (bench_replay_path rows; omitted
+  /// when <= 0). pps is redundant with ns_per_packet (1e9 / ns) but is
+  /// the unit the line-rate claim speaks in; cycles_per_packet is the
+  /// TSC delta per packet (x86 only, 0 elsewhere). The regression gate
+  /// keeps gating on ns/pkt and prints pps deltas as information.
+  double pps = 0;
+  double cycles_per_packet = 0;
+  /// Legitimate-drop fraction for rows whose tier measures collateral
+  /// damage (Fig. 7 wiring, probation-heavy replay): legit packets
+  /// dropped / legit packets offered. Omitted when < 0. Rows that carry
+  /// only `lr` set ns_per_packet = 0, which the time gate skips.
+  double lr = -1;
 };
 
 /// Machine-speed reference: a serially-dependent mix64 chain (core ALU
@@ -197,13 +209,23 @@ inline void append_records(const char* path,
       std::snprintf(workers, sizeof(workers), ", \"workers\": %d",
                     r.workers);
     }
+    char throughput[96] = "";
+    if (r.pps > 0 || r.cycles_per_packet > 0) {
+      std::snprintf(throughput, sizeof(throughput),
+                    ", \"pps\": %.0f, \"cycles_per_packet\": %.1f", r.pps,
+                    r.cycles_per_packet);
+    }
+    char legit[40] = "";
+    if (r.lr >= 0) {
+      std::snprintf(legit, sizeof(legit), ", \"lr\": %.5f", r.lr);
+    }
     std::fprintf(f,
                  "  {\"bench\": \"%s\", \"name\": \"%s\", \"flows\": %.0f, "
-                 "\"ns_per_packet\": %.2f, \"rss_kb\": %.0f%s%s%s%s, "
+                 "\"ns_per_packet\": %.2f, \"rss_kb\": %.0f%s%s%s%s%s%s, "
                  "\"run\": %d}%s\n",
                  r.bench.c_str(), r.name.c_str(), r.flows, r.ns_per_packet,
-                 r.rss_kb, threads, calib, occupancy, workers,
-                 r.run >= 0 ? r.run : run_id,
+                 r.rss_kb, threads, calib, occupancy, workers, throughput,
+                 legit, r.run >= 0 ? r.run : run_id,
                  i + 1 < records.size() ? "," : "");
   }
   std::fputs("]\n", f);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/verdict_pipeline.hpp"
+
 namespace mafic::core {
 
 FilterEngine::FilterEngine(MaficConfig cfg, Clock* clock,
@@ -46,6 +48,8 @@ void FilterEngine::activate(const VictimSet& victims) {
     tables_.set_victim_classes(sorted);
   }
   active_ = true;
+  single_victim_ = victims_.size() == 1;
+  if (single_victim_) lone_victim_ = *victims_.begin();
   refresh();
 }
 
@@ -67,6 +71,7 @@ void FilterEngine::refresh() {
 void FilterEngine::deactivate() {
   active_ = false;
   victims_.clear();
+  single_victim_ = false;
   tables_.flush();  // "End dropping & Flush all tables"
   rtt_.clear();
   if (expiry_timer_ != sim::kInvalidTimer) {
@@ -93,28 +98,25 @@ EngineVerdict FilterEngine::inspect_hashed(const sim::Packet& p,
 template <typename GetPacket>
 void FilterEngine::inspect_batch_impl(GetPacket&& get, std::size_t n,
                                       EngineVerdict* out) {
-  // Prefetch window: wide enough to overlap several DRAM round trips,
-  // small enough that the prefetched lines survive until their lookup.
-  constexpr std::size_t kWindow = 16;
+  constexpr std::size_t kWindow = VerdictPipeline::kWindow;
   std::uint64_t keys[kWindow];
   std::uint8_t hot[kWindow];  // victim-bound and inspectable
+
+  // One clock sample per batch: drivers advance time only between
+  // batches, so per-packet now() calls inside the batch are constant.
+  const double now = clock_->now();
+  auto engine_at = [this](std::size_t) -> FilterEngine& { return *this; };
+  auto now_at = [now](std::size_t) { return now; };
 
   std::size_t i = 0;
   while (i < n) {
     const std::size_t m = std::min(kWindow, n - i);
-    for (std::size_t j = 0; j < m; ++j) {
-      const sim::Packet& p = get(i + j);
-      const bool h = wants(p);
-      hot[j] = h ? 1 : 0;
-      if (h) {
-        keys[j] = sim::hash_label(p.label);
-        tables_.prefetch(keys[j]);
-      }
-    }
-    for (std::size_t j = 0; j < m; ++j) {
-      out[i + j] = hot[j] != 0 ? inspect_keyed(get(i + j), keys[j])
-                               : EngineVerdict::kForward;
-    }
+    auto packet_at = [&get, i](std::size_t j) -> const sim::Packet& {
+      return get(i + j);
+    };
+    VerdictPipeline::prehash_window(*this, packet_at, m, keys, hot);
+    VerdictPipeline::window<false>(engine_at, packet_at, now_at, keys, hot,
+                                   nullptr, m, out + i, nullptr);
     i += m;
   }
 }
@@ -138,31 +140,36 @@ void FilterEngine::inspect_batch_keyed(const sim::Packet* const* pkts,
                                        const std::uint32_t* span_idx,
                                        std::size_t n, EngineVerdict* out,
                                        BatchSequencer* seq) {
-  constexpr std::size_t kWindow = 16;
+  constexpr std::size_t kWindow = VerdictPipeline::kWindow;
+  const double now = clock_->now();
+  auto engine_at = [this](std::size_t) -> FilterEngine& { return *this; };
+  auto now_at = [now](std::size_t) { return now; };
+
   std::size_t i = 0;
   while (i < n) {
     const std::size_t m = std::min(kWindow, n - i);
-    for (std::size_t j = 0; j < m; ++j) tables_.prefetch(keys[i + j]);
-    for (std::size_t j = 0; j < m; ++j) {
-      if (seq != nullptr) seq->begin_packet(span_idx[i + j]);
-      // inspect_hashed (not inspect_keyed) so the active/victim/control
-      // gate is re-applied exactly as the serial sharded walk does.
-      out[i + j] = inspect_hashed(*pkts[i + j], keys[i + j]);
+    std::size_t j = 0;
+    for (; j + 4 <= m; j += 4) {
+      tables_.prefetch(keys[i + j + 0]);
+      tables_.prefetch(keys[i + j + 1]);
+      tables_.prefetch(keys[i + j + 2]);
+      tables_.prefetch(keys[i + j + 3]);
     }
+    for (; j < m; ++j) tables_.prefetch(keys[i + j]);
+    auto packet_at = [pkts, i](std::size_t k) -> const sim::Packet& {
+      return *pkts[i + k];
+    };
+    // kRegate: the active/victim/control gate is re-applied per packet in
+    // the verdict pass, exactly as the old inspect_hashed walk did.
+    VerdictPipeline::window<true>(engine_at, packet_at, now_at, keys + i,
+                                  nullptr, span_idx + i, m, out + i, seq);
     i += m;
   }
 }
 
 bool FilterEngine::pd_coin(const sim::Packet& p, std::uint64_t key) {
   if (cfg_.coin_mode == CoinMode::kPacketHash) {
-    const double pd = cfg_.drop_probability;
-    if (pd <= 0.0) return false;
-    if (pd >= 1.0) return true;
-    // Stateless per-packet draw: same (seed, flow, packet) -> same coin,
-    // regardless of which engine inspects it or what interleaves.
-    const std::uint64_t h =
-        util::mix64(cfg_.coin_seed ^ key ^ util::mix64(p.uid));
-    return static_cast<double>(h >> 11) * 0x1.0p-53 < pd;
+    return hash_coin(cfg_, key, p.uid);
   }
   return rng_.bernoulli(cfg_.drop_probability);
 }
@@ -177,6 +184,11 @@ EngineVerdict FilterEngine::inspect_keyed(const sim::Packet& p,
   // Router-side RTT refinement from the timestamp echo.
   if (p.tsecr > 0.0) rtt_.observe(key, now - p.tsecr);
 
+  return classify_slow(p, key, now);
+}
+
+EngineVerdict FilterEngine::classify_slow(const sim::Packet& p,
+                                          std::uint64_t key, double now) {
   switch (tables_.classify(key, now)) {
     case TableKind::kPermanentDrop:
       ++stats_.dropped_pdt;

@@ -22,11 +22,16 @@
 /// engine per shard with flows partitioned by key hash (sharded_filter.hpp)
 /// and never share an engine across threads.
 ///
-/// Batched inspection: inspect_batch() pre-hashes a burst of packets and
-/// software-prefetches each key's home slot in the flat store before
-/// classifying, so the random-access loads overlap instead of serializing
-/// on DRAM latency. Decisions are identical to per-packet inspect() calls
-/// in the same order (the early-outs draw no randomness).
+/// Batched inspection: inspect_batch() and friends run the staged SoA
+/// verdict pipeline (verdict_pipeline.hpp) — a 4-wide unrolled pre-hash
+/// pass feeding FlatTable::prefetch, a read-only peek pass materializing
+/// per-packet table state into parallel arrays, a table-driven lane
+/// select, and one in-arrival-order verdict walk whose fast lanes
+/// (resident NFT/PDT, live probations) skip the scalar branch ladder.
+/// Decisions, stats, RNG draws and callback order are identical to
+/// per-packet inspect() calls in the same order: stateful packets fall
+/// back to the scalar tail, and a per-packet epoch check reroutes
+/// anything materialized before a structural table mutation.
 
 #include <functional>
 #include <unordered_map>
@@ -142,10 +147,19 @@ class FilterEngine {
   /// control). Cold packets forward without hashing or prefetching.
   /// One predicate shared by inspect_batch here and
   /// ShardedFilter::inspect_batch, so the batched paths cannot drift.
+  /// The ubiquitous one-victim activation resolves to three compares
+  /// instead of a hash-set probe — this runs once (or twice, on the
+  /// re-gating paths) per packet.
   bool wants(const sim::Packet& p) const noexcept {
-    return active_ && victims_.contains(p.label.dst) &&
-           p.proto != sim::Protocol::kControl;
+    if (!active_ || p.proto == sim::Protocol::kControl) return false;
+    return single_victim_ ? p.label.dst == lone_victim_
+                          : victims_.contains(p.label.dst);
   }
+
+  /// The engine's current clock reading (one virtual call; the batched
+  /// pipeline samples it once per batch instead of once per packet —
+  /// every driver advances time only between batches).
+  double now() const noexcept { return clock_->now(); }
 
   void set_classification_callback(ClassificationCallback cb) {
     on_classified_ = std::move(cb);
@@ -165,15 +179,40 @@ class FilterEngine {
   const VictimSet& victims() const noexcept { return victims_; }
 
  private:
+  /// The staged batch pipeline reaches the engine's tables, stats, RNG
+  /// and callbacks directly; it lives in its own header so FilterEngine
+  /// and ShardedFilter share ONE lane implementation.
+  friend class VerdictPipeline;
+
   /// The Fig. 2 walk with the label hash already computed (shared by the
   /// scalar and batched paths).
   EngineVerdict inspect_keyed(const sim::Packet& p, std::uint64_t key);
-  /// Windowed pre-hash + prefetch batch walk over any packet accessor.
+  /// The Fig. 2 walk AFTER the per-packet prologue (offered stats +
+  /// callback, RTT observe): classification against the tables at `now`,
+  /// including the stateful paths (lazy NFT expiry, due-probation decide,
+  /// screening, Pd admission). The batch pipeline's slow lane calls this
+  /// directly — it is the oracle the fast lanes are checked against.
+  EngineVerdict classify_slow(const sim::Packet& p, std::uint64_t key,
+                              double now);
+  /// Windowed pipeline walk over any packet accessor.
   template <typename GetPacket>
   void inspect_batch_impl(GetPacket&& get, std::size_t n,
                           EngineVerdict* out);
   /// The Pd coin under the configured CoinMode.
   bool pd_coin(const sim::Packet& p, std::uint64_t key);
+  /// The stateless CoinMode::kPacketHash coin as a pure function — shared
+  /// by pd_coin and the pipeline's branchless pass-3 precompute.
+  static bool hash_coin(const MaficConfig& cfg, std::uint64_t key,
+                        std::uint64_t uid) noexcept {
+    const double pd = cfg.drop_probability;
+    if (pd <= 0.0) return false;
+    if (pd >= 1.0) return true;
+    // Stateless per-packet draw: same (seed, flow, packet) -> same coin,
+    // regardless of which engine inspects it or what interleaves.
+    const std::uint64_t h =
+        util::mix64(cfg.coin_seed ^ key ^ util::mix64(uid));
+    return static_cast<double>(h >> 11) * 0x1.0p-53 < pd;
+  }
   /// Resolves a probation according to the two half-window counts.
   TableKind decide(std::uint64_t key);
   void admit(const sim::Packet& p, std::uint64_t key);
@@ -192,6 +231,11 @@ class FilterEngine {
 
   bool active_ = false;
   VictimSet victims_;
+  /// wants() fast path: with exactly one protected destination (the
+  /// common case) the victim test is an integer compare, not a hash-set
+  /// probe. Maintained by activate()/deactivate().
+  bool single_victim_ = false;
+  util::Addr lone_victim_{};
   double expires_at_ = 0.0;
   sim::TimerId expiry_timer_ = sim::kInvalidTimer;
 

@@ -146,6 +146,7 @@ TableKind FlowTables::classify(std::uint64_t key, double now) {
   if (r->kind == TableKind::kNice && now > r->nft_expiry) {
     store_.erase(key);  // revalidation: niceness has expired
     --nft_count_;
+    ++epoch_;
     ++stats_.nft_expirations;
     return TableKind::kNone;
   }
@@ -340,6 +341,7 @@ void FlowTables::evict_from_class(std::uint32_t cls, EvictCause cause) {
   ring_unlink_in(r, victim);
   free_arena_slot(victim);
   --sft_count_;
+  ++epoch_;
   ++stats_.sft_evictions;
   if (cause == EvictCause::kQuota) ++stats_.quota_evictions;
 }
@@ -409,6 +411,7 @@ void FlowTables::evict_any(TableKind kind) {
   assert(at != decltype(store_)::kNpos);
   evict_cursor_ = at;
   store_.erase(victim_key);
+  ++epoch_;
   if (kind == TableKind::kNice) {
     --nft_count_;
   } else {
@@ -451,6 +454,7 @@ SftEntry* FlowTables::admit_sft(std::uint64_t key,
   record->kind = TableKind::kSuspicious;
   record->sft_slot = slot;
   ++sft_count_;
+  ++epoch_;
   ++stats_.sft_admissions;
   return &e;
 }
@@ -464,6 +468,7 @@ SftEntry FlowTables::resolve(std::uint64_t key, TableKind destination,
   ring_unlink(r->sft_slot);
   free_arena_slot(r->sft_slot);
   --sft_count_;
+  ++epoch_;
 
   // The key stays resident: its record mutates in place to the
   // destination table (no erase + reinsert, no rehash churn).
@@ -501,6 +506,7 @@ void FlowTables::add_pdt_direct(std::uint64_t key) {
   (void)inserted;
   record->kind = TableKind::kPermanentDrop;
   ++pdt_count_;
+  ++epoch_;
   ++stats_.direct_pdt;
 }
 
@@ -519,6 +525,7 @@ void FlowTables::flush() {
   sft_count_ = 0;
   nft_count_ = 0;
   pdt_count_ = 0;
+  ++epoch_;
   ++stats_.flushes;
 }
 

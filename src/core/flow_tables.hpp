@@ -129,6 +129,42 @@ class FlowTables {
   /// random-access loads overlap instead of serializing on DRAM latency.
   void prefetch(std::uint64_t key) const noexcept { store_.prefetch(key); }
 
+  /// Prefetches an SFT arena entry by slot (second-stage prefetch of the
+  /// batched verdict pipeline: peek() yields the slot, the lane decision
+  /// then reads the entry's deadline one pass later).
+  void prefetch_sft(std::uint32_t slot) const noexcept {
+    __builtin_prefetch(&arena_[slot], /*rw=*/0, /*locality=*/1);
+  }
+
+  /// Read-only table snapshot for the batched verdict pipeline
+  /// (verdict_pipeline.hpp): one probe sequence, NO lazy NFT expiry and no
+  /// other side effect — the pipeline replicates classify()'s expiry test
+  /// from `nft_expiry` itself and routes expired entries through the
+  /// scalar path. `sft_slot`/`nft_expiry` are only meaningful for their
+  /// respective kinds.
+  struct Peek {
+    TableKind kind = TableKind::kNone;
+    std::uint32_t sft_slot = 0xffffffffu;
+    double nft_expiry = 0.0;
+  };
+  Peek peek(std::uint64_t key) const noexcept {
+    const FlowRecord* r = store_.find(key);
+    if (r == nullptr) return {};
+    return {r->kind, r->sft_slot, r->nft_expiry};
+  }
+
+  /// Live SFT entry by arena slot (from Peek::sft_slot). The reference is
+  /// valid only while epoch() is unchanged: any structural mutation may
+  /// recycle or relocate the slot.
+  SftEntry& sft_at(std::uint32_t slot) noexcept { return arena_[slot]; }
+
+  /// Structural-mutation counter: bumped by every insert/erase/kind
+  /// change/eviction/flush — anything that can invalidate a Peek or an
+  /// sft_at() reference. In-place SFT count updates do NOT bump it. The
+  /// batched pipeline snapshots the epoch, materializes a window of Peeks,
+  /// and falls back to the scalar path the moment the epoch moves.
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
   /// Admits a flow into the SFT (must not be in any table). Returns the
   /// new entry, or nullptr if the key is already tabled. Evicts the oldest
   /// probation when full. The returned pointer is valid until the next
@@ -249,6 +285,7 @@ class FlowTables {
   std::size_t nft_count_ = 0;
   std::size_t pdt_count_ = 0;
   std::size_t evict_cursor_ = 0;  ///< rotating scan hint for evict_any
+  std::uint64_t epoch_ = 0;       ///< structural-mutation counter (epoch())
   EvictionHook on_evicted_;
   Stats stats_;
 

@@ -3,6 +3,8 @@
 #include <bit>
 #include <cassert>
 
+#include "core/verdict_pipeline.hpp"
+
 namespace mafic::core {
 
 namespace {
@@ -90,22 +92,44 @@ void ShardedFilter::partition_span_range(const sim::Packet* const* pkts,
   // plane fans out), so the first engine's hot gate decides for all of
   // them — cold packets skip the hash and the shard-id slice.
   const FilterEngine& gate = *engines_.front();
-  for (std::size_t i = begin; i < end; ++i) {
+  const auto one = [&](std::size_t i) {
     const bool h = gate.wants(*pkts[i]);
     out.hot[i] = h ? 1 : 0;
     if (h) {
       out.keys[i] = sim::hash_label(pkts[i]->label);
       out.shard[i] = static_cast<std::uint32_t>(shard_of(out.keys[i]));
     }
+  };
+  // 4-wide unroll: the mix64 chains of consecutive packets carry no
+  // dependence on each other, so the multiplies schedule in parallel.
+  std::size_t i = begin;
+  for (; i + 4 <= end; i += 4) {
+    one(i + 0);
+    one(i + 1);
+    one(i + 2);
+    one(i + 3);
   }
+  for (; i < end; ++i) one(i);
 }
 
 void ShardedFilter::inspect_batch(const sim::Packet* const* pkts,
                                   std::size_t n, EngineVerdict* out) {
   partition_span(pkts, n, part_);
-  // Windowed prefetch ahead of the in-order classify walk; the shard id
-  // comes from the partition pass instead of being re-derived per loop.
-  constexpr std::size_t kWindow = 16;
+  // One clock sample per shard per batch (drivers advance time only
+  // between batches); the pipeline's now_at indexes this by home shard.
+  nows_.resize(engines_.size());
+  for (std::size_t s = 0; s < engines_.size(); ++s) {
+    nows_[s] = engines_[s]->now();
+  }
+  auto engine_at = [this](std::size_t j) -> FilterEngine& {
+    return *engines_[part_.shard[j]];
+  };
+  auto packet_at = [pkts](std::size_t j) -> const sim::Packet& {
+    return *pkts[j];
+  };
+  auto now_at = [this](std::size_t j) { return nows_[part_.shard[j]]; };
+
+  constexpr std::size_t kWindow = VerdictPipeline::kWindow;
   std::size_t i = 0;
   while (i < n) {
     const std::size_t m = n - i < kWindow ? n - i : kWindow;
@@ -114,12 +138,21 @@ void ShardedFilter::inspect_batch(const sim::Packet* const* pkts,
         engines_[part_.shard[i + j]]->tables().prefetch(part_.keys[i + j]);
       }
     }
-    for (std::size_t j = 0; j < m; ++j) {
-      out[i + j] = part_.hot[i + j] != 0
-                       ? engines_[part_.shard[i + j]]->inspect_hashed(
-                             *pkts[i + j], part_.keys[i + j])
-                       : EngineVerdict::kForward;
-    }
+    // kRegate mirrors the old per-packet inspect_hashed walk: the
+    // active/victim/control gate re-applies inside the verdict pass. One
+    // interleaved arrival-order walk across shards, so cross-shard timer
+    // and probe scheduling order is exactly the single-engine order.
+    auto engine_off = [&engine_at, i](std::size_t j) -> FilterEngine& {
+      return engine_at(i + j);
+    };
+    auto packet_off = [&packet_at, i](std::size_t j) -> const sim::Packet& {
+      return packet_at(i + j);
+    };
+    auto now_off = [&now_at, i](std::size_t j) { return now_at(i + j); };
+    VerdictPipeline::window<true>(engine_off, packet_off, now_off,
+                                  part_.keys.data() + i,
+                                  part_.hot.data() + i, nullptr, m, out + i,
+                                  nullptr);
     i += m;
   }
 }

@@ -188,6 +188,8 @@ class ShardedFilter {
   std::vector<FilterEngine*> engines_;
   /// inspect_batch scratch (reused; steady state allocates nothing).
   SpanPartition part_;
+  /// Per-shard batch-start clock samples (one now() per shard per batch).
+  std::vector<double> nows_;
 };
 
 }  // namespace mafic::core
