@@ -33,6 +33,10 @@
 //      walk AND — on a >= 4-core box — beats shard_threads=0 by >= 3x
 //      wall clock at 4 workers over a fleet-scale steady-state scenario
 //      (the sim_fleet_threaded tier; occupancy lands in the trajectory).
+//   8. the generated-scenario price: the catalog's probation-heavy
+//      spoof_churn entry (scenario_spoof_churn tier) runs end-to-end
+//      through the sharded sim at shard_threads 0/2, bit-identically,
+//      and its ns per offered packet lands in the trajectory.
 //
 // Sharding driver: one thread per shard when the hardware has the cores;
 // on smaller machines the shards run back-to-back on one core and the
@@ -70,6 +74,7 @@
 #include "core/sharded_filter.hpp"
 #include "core/sharded_mafic_filter.hpp"
 #include "scenario/experiment.hpp"
+#include "scenario/scenario_catalog.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "util/hash.hpp"
@@ -1058,6 +1063,105 @@ bool run_sim_fleet_sweep(std::vector<bench::BenchRecord>* records) {
   return all_ok;
 }
 
+// ---- scenario-catalog tier: probation-heavy generated workload -------------
+
+/// End-to-end price of the catalog's probation-heavy shape: spoof_churn
+/// (every rotation orphans a tableful of SFT probations and refills it
+/// with fresh suspects — SFT admission/eviction churn dominates, the
+/// path none of the steady-state tiers above exercises). The nominal
+/// catalog entry is internet-scale; this tier runs the same spec at a
+/// reduced-but-nontrivial size through the sharded sim datapath at
+/// shard_threads 0 and 2, best of three deterministic runs each. Rows
+/// are wall ns per offered packet, tagged per the threads convention so
+/// serial and threaded measurements gate separately; the two modes must
+/// stay bit-identical (the same contract the catalog battery pins at
+/// smoke scale in test_scenario_catalog.cpp).
+bool run_scenario_catalog_tier(std::vector<bench::BenchRecord>* records) {
+  const scenario::CatalogEntry* entry =
+      scenario::find_scenario("spoof_churn");
+  if (entry == nullptr) {
+    std::fprintf(stderr, "FAIL: spoof_churn missing from the catalog\n");
+    return false;
+  }
+  scenario::ScenarioSpec spec = entry->spec;
+  // Bench scale: large enough that table churn (not setup) dominates the
+  // wall clock, small enough for best-of-3 x 2 modes in CI. The SFT is
+  // shrunk below the army size and the churn outpaces the decision
+  // timers, so every per-shard table runs near probation-full for the
+  // whole attack window (the admission + decision-timer path is the
+  // measured cost; the eviction column is printed for the record).
+  spec.legit_flows = 400;
+  spec.zombies = 300;
+  spec.attack_total_bps = 8e6;
+  spec.churn_interval = 0.15;  // rotations outpace the 2 x RTT decisions
+  spec.sft_capacity = 48;
+  spec.end_time = 8.0;
+
+  struct ModeRow {
+    const char* name;
+    std::size_t threads;
+  };
+  const ModeRow modes[] = {{"scenario_spoof_churn_t0", 0},
+                           {"scenario_spoof_churn_t2", 2}};
+
+  std::printf("\nscenario catalog tier: spoof_churn (probation-heavy), "
+              "%zu legit + %zu zombies, SFT capacity %zu\n",
+              spec.legit_flows, spec.zombies, spec.sft_capacity);
+  std::printf("%24s %10s %12s %12s %12s %10s\n", "mode", "ns/pkt",
+              "offered", "admissions", "evictions", "verdicts");
+
+  bool all_ok = true;
+  std::uint64_t base_fp = 0;
+  for (const ModeRow& m : modes) {
+    scenario::Strategy strat;
+    strat.label = m.name;
+    strat.num_shards = 4;
+    strat.shard_threads = m.threads;
+
+    double best = 0;
+    scenario::ScenarioOutcome out;
+    // Best of three: the run is deterministic, repeats only reject
+    // scheduler noise.
+    for (int pass = 0; pass < 3; ++pass) {
+      const double start = now_ns();
+      scenario::ScenarioOutcome r = scenario::run_scenario(spec, strat);
+      const double elapsed = now_ns() - start;
+      if (pass == 0 || elapsed < best) best = elapsed;
+      out = std::move(r);
+    }
+    const auto& mr = out.result;
+    const double ns_per_packet =
+        best / double(mr.metrics.total_offered > 0 ? mr.metrics.total_offered
+                                                   : 1);
+    const bool is_serial = m.threads == 0;
+    if (is_serial) base_fp = out.fingerprint;
+    const bool same = is_serial || out.fingerprint == base_fp;
+    std::printf("%24s %10.2f %12llu %12llu %12llu %10s\n", m.name,
+                ns_per_packet,
+                static_cast<unsigned long long>(mr.metrics.total_offered),
+                static_cast<unsigned long long>(mr.sft_admissions),
+                static_cast<unsigned long long>(mr.sft_evictions),
+                is_serial ? "(baseline)"
+                          : (same ? "identical" : "DIVERGED"));
+    if (!same) {
+      std::fprintf(stderr, "FAIL: %s diverged from the serial run\n",
+                   m.name);
+      all_ok = false;
+    }
+    if (is_serial &&
+        (mr.sft_admissions == 0 || mr.metrics.total_offered == 0)) {
+      std::fprintf(stderr,
+                   "FAIL: scenario tier produced no traffic/admissions\n");
+      all_ok = false;
+    }
+    records->push_back({"bench_flow_store_scale", m.name,
+                        double(spec.legit_flows + spec.zombies),
+                        ns_per_packet, bench::read_vm_rss_kb(),
+                        m.threads > 0 ? 1 : 0});
+  }
+  return all_ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1320,6 +1424,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: fleet tick-batching sweep (divergence or missed "
                  "speedup gate)\n");
+    ok = false;
+  }
+
+  // ---- scenario-catalog tier (probation-heavy generated workload) ------
+  if (!run_scenario_catalog_tier(&records)) {
+    std::fprintf(stderr,
+                 "FAIL: scenario catalog tier (divergence or empty run)\n");
     ok = false;
   }
 

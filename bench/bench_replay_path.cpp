@@ -40,8 +40,11 @@
 // tools/check_bench_regression.py), pps and cycles/pkt (informational),
 // rows named replay_* (datapath) and sim_twin_* (simulator-driven).
 // --smoke shrinks the traces, keeps every bit-identity assert, skips
-// the timing gate (CI boxes flap), and still appends its JSON for the
-// artifact upload.
+// the timing gate (CI boxes flap), and appends NOTHING to the JSON:
+// smoke tiers run at different flow counts than full tiers, so one
+// committed smoke run would make every later full run look like it
+// dropped tiers (and vice versa) under the regression gate's
+// missing-tier diff. The trajectory only ever records full runs.
 
 #include <algorithm>
 #include <cstdio>
@@ -749,8 +752,13 @@ int main(int argc, char** argv) {
     }
   }
 
-  for (auto& r : records) r.calib_ns = calib_ns;
-  bench::append_records(bench::kFlowStoreJson, records);
-  std::printf("results appended to %s\n", bench::kFlowStoreJson);
+  if (!smoke) {
+    // Smoke tiers use different flow counts than full tiers; recording
+    // them would poison the committed trajectory's missing-tier diff
+    // (see the header comment).
+    for (auto& r : records) r.calib_ns = calib_ns;
+    bench::append_records(bench::kFlowStoreJson, records);
+    std::printf("results appended to %s\n", bench::kFlowStoreJson);
+  }
   return ok ? 0 : 1;
 }

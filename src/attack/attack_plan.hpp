@@ -2,9 +2,13 @@
 
 /// \file attack_plan.hpp
 /// Orchestrates a zombie army: staggers start times across a ramp window
-/// and stops everything at a configured time. Owns nothing; it drives
-/// Flooders owned by the scenario.
+/// and stops everything at a configured time, plus an optional phase
+/// timeline of army-wide mid-run actions (pulse on/off, rolling retarget,
+/// spoof rotation) that the scenario engine compiles attack shapes into.
+/// Owns nothing; it drives Flooders owned by the scenario.
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "attack/zombie.hpp"
@@ -12,12 +16,44 @@
 
 namespace mafic::attack {
 
+/// Army-wide action fired at a phase boundary.
+enum class PhaseAction : std::uint8_t {
+  kStart,        ///< resume every zombie (pulse "on" edge)
+  kStop,         ///< silence every zombie (pulse "off" edge)
+  kRetarget,     ///< roll every zombie onto `target` (carpet-bombing)
+  kRotateSpoof,  ///< every zombie redraws its spoofed source (spoof-churn)
+};
+
+inline const char* to_string(PhaseAction a) noexcept {
+  switch (a) {
+    case PhaseAction::kStart:
+      return "start";
+    case PhaseAction::kStop:
+      return "stop";
+    case PhaseAction::kRetarget:
+      return "retarget";
+    case PhaseAction::kRotateSpoof:
+      return "rotate_spoof";
+  }
+  return "?";
+}
+
 class AttackPlan {
  public:
   struct Config {
     double start_time = 1.0;    ///< first zombie fires
     double ramp_seconds = 0.2;  ///< stagger window for the remaining ones
     double stop_time = 0.0;     ///< 0 = never stop
+  };
+
+  /// One timeline entry: at sim time `at`, apply `action` to the whole
+  /// army. `target`/`target_port` are read for kRetarget only; port 0
+  /// keeps each zombie's current remote port.
+  struct Phase {
+    double at = 0.0;
+    PhaseAction action = PhaseAction::kStart;
+    util::Addr target = util::kInvalidAddr;
+    std::uint16_t target_port = 0;
   };
 
   AttackPlan(sim::Simulator* sim, Config cfg) : sim_(sim), cfg_(cfg) {}
@@ -38,13 +74,46 @@ class AttackPlan {
     }
   }
 
+  /// Schedules a phase timeline on top of arm(). Call after every add();
+  /// the scenario engine validates ordering/shape before handing the
+  /// timeline over (scenario_spec.hpp), the plan just fires what it gets.
+  void arm_phases(std::vector<Phase> phases) {
+    phases_ = std::move(phases);
+    for (const Phase& ph : phases_) {
+      sim_->schedule_at(ph.at, [this, ph] {
+        ++phases_fired_;
+        for (Flooder* z : zombies_) {
+          switch (ph.action) {
+            case PhaseAction::kStart:
+              z->start();
+              break;
+            case PhaseAction::kStop:
+              z->stop();
+              break;
+            case PhaseAction::kRetarget:
+              z->retarget(ph.target, ph.target_port);
+              break;
+            case PhaseAction::kRotateSpoof:
+              z->rotate_spoof();
+              break;
+          }
+        }
+      });
+    }
+  }
+
   std::size_t zombie_count() const noexcept { return zombies_.size(); }
   const Config& config() const noexcept { return cfg_; }
+  const std::vector<Phase>& phases() const noexcept { return phases_; }
+  /// Phase boundaries that have fired so far (tests/diagnostics).
+  std::uint64_t phases_fired() const noexcept { return phases_fired_; }
 
  private:
   sim::Simulator* sim_;
   Config cfg_;
   std::vector<Flooder*> zombies_;
+  std::vector<Phase> phases_;
+  std::uint64_t phases_fired_ = 0;
 };
 
 }  // namespace mafic::attack

@@ -11,6 +11,26 @@ void Flooder::set_spoof(SpoofingModel* model) {
   wire_label_ = sim::FlowLabel{s.addr, raddr_, port_, rport_};
 }
 
+void Flooder::retarget(util::Addr victim, std::uint16_t vport) {
+  if (vport == 0) vport = rport_;
+  connect(victim, vport);
+  if (wire_label_.src == util::kInvalidAddr) {
+    wire_label_ = label();  // unspoofed and not yet started
+  } else {
+    wire_label_.dst = victim;
+    wire_label_.dport = vport;
+  }
+  ++retargets_;
+}
+
+void Flooder::rotate_spoof() {
+  if (spoof_model_ == nullptr) return;
+  const auto s = spoof_model_->draw(node_->addr());
+  spoof_kind_ = s.kind;
+  wire_label_.src = s.addr;
+  ++spoof_rotations_;
+}
+
 void Flooder::start() {
   if (running_) return;
   running_ = true;

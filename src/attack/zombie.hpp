@@ -49,6 +49,23 @@ class Flooder final : public transport::Agent {
   void stop();
   bool running() const noexcept { return running_; }
 
+  /// Rolls the flood onto a new victim mid-run (carpet-bombing): rebinds
+  /// the remote endpoint and the wire label's destination while keeping
+  /// the (possibly spoofed) source identity, so the defense sees a brand
+  /// new flow label aimed at the next victim. `vport` 0 keeps the current
+  /// remote port. Takes effect from the next emitted packet; legal before
+  /// start() too (it just redefines the initial target).
+  void retarget(util::Addr victim, std::uint16_t vport = 0);
+
+  /// Redraws the spoofed source identity from the attached SpoofingModel
+  /// (spoof-churn): subsequent packets carry a fresh label, orphaning any
+  /// per-flow state the defense accumulated against the old one. No-op
+  /// without a spoof model.
+  void rotate_spoof();
+
+  std::uint64_t retargets() const noexcept { return retargets_; }
+  std::uint64_t spoof_rotations() const noexcept { return spoof_rotations_; }
+
   /// The label actually stamped on attack packets (spoofed source).
   sim::FlowLabel wire_label() const noexcept { return wire_label_; }
   SpoofKind spoof_kind() const noexcept { return spoof_kind_; }
@@ -81,6 +98,8 @@ class Flooder final : public transport::Agent {
   std::uint64_t sent_ = 0;
   std::uint64_t feedback_ignored_ = 0;
   std::uint64_t evasion_pauses_ = 0;
+  std::uint64_t retargets_ = 0;
+  std::uint64_t spoof_rotations_ = 0;
   std::uint32_t dup_ack_run_ = 0;
   std::uint32_t next_seq_ = 1;
 };

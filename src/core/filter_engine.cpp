@@ -45,12 +45,37 @@ void FilterEngine::activate(const VictimSet& victims) {
     // scalar-vs-sharded equivalence relies on every engine agreeing.
     std::vector<util::Addr> sorted(victims_.begin(), victims_.end());
     std::sort(sorted.begin(), sorted.end());
-    tables_.set_victim_classes(sorted);
+    if (victim_weights_.empty()) {
+      tables_.set_victim_classes(sorted);
+    } else {
+      // Victims without a registered weight default to 1.0 so a partial
+      // weight map never zeroes out an unnamed victim's reservation.
+      std::vector<double> weights;
+      weights.reserve(sorted.size());
+      for (const util::Addr v : sorted) {
+        const auto it = std::lower_bound(
+            victim_weights_.begin(), victim_weights_.end(), v,
+            [](const auto& pair, util::Addr addr) {
+              return pair.first < addr;
+            });
+        weights.push_back(it != victim_weights_.end() && it->first == v
+                              ? it->second
+                              : 1.0);
+      }
+      tables_.set_victim_classes(sorted, weights);
+    }
   }
   active_ = true;
   single_victim_ = victims_.size() == 1;
   if (single_victim_) lone_victim_ = *victims_.begin();
   refresh();
+}
+
+void FilterEngine::set_victim_weights(
+    std::vector<std::pair<util::Addr, double>> weights) {
+  std::sort(weights.begin(), weights.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  victim_weights_ = std::move(weights);
 }
 
 void FilterEngine::refresh() {

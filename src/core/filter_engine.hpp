@@ -105,6 +105,15 @@ class FilterEngine {
 
   // --- activation (Fig. 2 outer loop) ---------------------------------
   void activate(const VictimSet& victims);
+
+  /// Registers per-victim quota weights (e.g. provisioned bandwidth in
+  /// bps) consumed by the next activate(): SFT reservations become
+  /// proportional to the weights instead of an equal split
+  /// (FlowTables::set_victim_classes weighted overload). Victims absent
+  /// from the map weigh 1.0. Call before activate(); calling while active
+  /// takes effect on the next activation (activate() is the only point
+  /// where classes are (re)registered). Empty map = equal split.
+  void set_victim_weights(std::vector<std::pair<util::Addr, double>> weights);
   void refresh();
   void deactivate();
   bool active() const noexcept { return active_; }
@@ -236,6 +245,9 @@ class FilterEngine {
   /// probe. Maintained by activate()/deactivate().
   bool single_victim_ = false;
   util::Addr lone_victim_{};
+  /// Per-victim quota weights, sorted by address (set_victim_weights);
+  /// empty = equal split.
+  std::vector<std::pair<util::Addr, double>> victim_weights_;
   double expires_at_ = 0.0;
   sim::TimerId expiry_timer_ = sim::kInvalidTimer;
 

@@ -80,13 +80,49 @@ std::uint32_t FlowTables::class_of(util::Addr dst) const noexcept {
 }
 
 void FlowTables::set_victim_classes(const std::vector<util::Addr>& victims) {
-  std::vector<util::Addr> sorted = victims;
-  std::sort(sorted.begin(), sorted.end());
-  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
-  if (cfg_.sft_victim_quota <= 0.0 || sorted.size() < 2) sorted.clear();
-  if (sorted == class_victims_) return;  // repeated activate: no-op
+  set_victim_classes(victims, {});
+}
+
+void FlowTables::set_victim_classes(const std::vector<util::Addr>& victims,
+                                    const std::vector<double>& weights) {
+  // Sort victims and weights together so class indices are deterministic
+  // regardless of caller order; duplicates keep their first weight.
+  std::vector<std::pair<util::Addr, double>> paired;
+  paired.reserve(victims.size());
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    const double w = i < weights.size() ? std::max(0.0, weights[i]) : 1.0;
+    paired.emplace_back(victims[i], w);
+  }
+  std::stable_sort(paired.begin(), paired.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  paired.erase(std::unique(paired.begin(), paired.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.first == b.first;
+                           }),
+               paired.end());
+  if (cfg_.sft_victim_quota <= 0.0 || paired.size() < 2) paired.clear();
+
+  std::vector<util::Addr> sorted;
+  std::vector<double> w_sorted;
+  double w_sum = 0.0;
+  sorted.reserve(paired.size());
+  w_sorted.reserve(paired.size());
+  for (const auto& [addr, w] : paired) {
+    sorted.push_back(addr);
+    w_sorted.push_back(w);
+    w_sum += w;
+  }
+  // All-zero (or absent) weights mean "no preference": equal split.
+  if (!(w_sum > 0.0) || weights.empty()) w_sorted.clear();
+
+  if (sorted == class_victims_ && w_sorted == class_weights_) {
+    return;  // repeated activate: no-op
+  }
 
   class_victims_ = std::move(sorted);
+  class_weights_ = std::move(w_sorted);
   const std::size_t n = std::max<std::size_t>(1, class_victims_.size());
   ring_reset(ring0_);
   extra_rings_.resize(n - 1);
@@ -103,6 +139,17 @@ void FlowTables::set_victim_classes(const std::vector<util::Addr>& victims) {
     // evicting another under-quota victim — the bug quotas exist to fix.
     quota = std::min(quota, cfg_.sft_capacity / n);
     class_quota_.assign(n, quota);
+    if (!class_weights_.empty()) {
+      // Weighted reservations: split the same total pool the equal path
+      // would reserve, proportionally to the weights. floor() keeps the
+      // summed reservations <= pool <= sft_capacity.
+      const std::size_t pool =
+          std::min(quota * n, cfg_.sft_capacity);
+      for (std::size_t c = 0; c < n; ++c) {
+        class_quota_[c] = static_cast<std::size_t>(
+            static_cast<double>(pool) * class_weights_[c] / w_sum);
+      }
+    }
   }
 
   // Re-ring every live probation under the new classes (activation can

@@ -101,13 +101,33 @@ class FlowTables {
   /// the registered set share class 0. Idempotent for a repeated set.
   void set_victim_classes(const std::vector<util::Addr>& victims);
 
+  /// Weighted variant: `weights[i]` is victim[i]'s share weight (e.g. its
+  /// provisioned bandwidth), parallel to the CALLER's victim order; the
+  /// pair is sorted together internally. Reservations are proportional:
+  /// class i gets floor(pool * w_i / sum(w)) slots, where the pool is the
+  /// unweighted total min(per_victim_quota * n, sft_capacity) — so the
+  /// summed-reservations-fit-the-table invariant of the equal-split path
+  /// is preserved and a zero-weight victim simply holds no reserved slots
+  /// (it still admits through the unreserved overflow share). Negative
+  /// weights clamp to 0; an all-zero/empty weight vector falls back to the
+  /// equal split. Idempotent for a repeated (victims, weights) pair.
+  void set_victim_classes(const std::vector<util::Addr>& victims,
+                          const std::vector<double>& weights);
+
   /// Number of victim classes (1 when quotas are off / unregistered).
   std::size_t victim_classes() const noexcept {
     return 1 + extra_rings_.size();
   }
-  /// Reserved SFT slots per victim class (0 when quotas are off).
+  /// Reserved SFT slots per victim class (0 when quotas are off). With
+  /// weighted quotas classes differ — this reports class 0's; use
+  /// quota_slots_of() for a specific victim.
   std::size_t quota_slots() const noexcept {
     return class_quota_.empty() ? 0 : class_quota_.front();
+  }
+  /// Reserved SFT slots of `victim`'s class (0 when quotas are off;
+  /// unregistered destinations report class 0's share).
+  std::size_t quota_slots_of(util::Addr victim) const noexcept {
+    return class_quota_.empty() ? 0 : class_quota_[class_of(victim)];
   }
   /// Live probations belonging to `victim`'s class (its ring occupancy).
   /// With quotas off every destination shares the single class, so this
@@ -304,6 +324,7 @@ class FlowTables {
   Ring ring0_;                      ///< class 0 (the only ring, quotas off)
   std::vector<Ring> extra_rings_;   ///< classes 1..n-1 (quota mode only)
   std::vector<util::Addr> class_victims_;  ///< sorted; empty = one class
+  std::vector<double> class_weights_;      ///< parallel; empty = equal split
   std::vector<std::size_t> class_quota_;   ///< reserved slots per class
   std::vector<std::uint32_t> ring_next_;   ///< per-arena-slot bucket links
   std::vector<std::uint32_t> ring_prev_;

@@ -47,6 +47,11 @@ class MaficFilter final : public sim::InlineFilter, public DefenseActuator {
   }
   void refresh() override { engine_.refresh(); }
   void deactivate() override { engine_.deactivate(); }
+  /// Weighted per-victim SFT quotas: forwarded to the engine, consumed by
+  /// the next activate().
+  void set_victim_weights(std::vector<std::pair<util::Addr, double>> w) {
+    engine_.set_victim_weights(std::move(w));
+  }
   bool active() const noexcept override { return engine_.active(); }
 
   void set_classification_callback(ClassificationCallback cb) {

@@ -55,6 +55,11 @@ ShardedFilter::ShardedFilter(std::size_t shard_count, const MaficConfig& cfg,
   }
 }
 
+void ShardedFilter::set_victim_weights(
+    const std::vector<std::pair<util::Addr, double>>& weights) {
+  for (auto* e : engines_) e->set_victim_weights(weights);
+}
+
 void ShardedFilter::activate(const VictimSet& victims) {
   for (auto* e : engines_) e->activate(victims);
 }

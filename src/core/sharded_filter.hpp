@@ -112,6 +112,11 @@ class ShardedFilter {
 
   // --- control plane (single-threaded, between datapath bursts) --------
   void activate(const VictimSet& victims);
+  /// Weighted per-victim SFT quotas: forwarded to EVERY shard engine so
+  /// all shards agree on class reservations (the cross-shard equivalence
+  /// depends on identical class tables). Consumed by the next activate().
+  void set_victim_weights(
+      const std::vector<std::pair<util::Addr, double>>& weights);
   void refresh();
   void deactivate();
   bool active() const noexcept;

@@ -113,6 +113,11 @@ class ShardedMaficFilter final : public sim::InlineFilter,
   }
   void refresh() override { sharded_.refresh(); }
   void deactivate() override { sharded_.deactivate(); }
+  /// Weighted per-victim SFT quotas, fanned out to every shard engine.
+  void set_victim_weights(
+      const std::vector<std::pair<util::Addr, double>>& w) {
+    sharded_.set_victim_weights(w);
+  }
   bool active() const noexcept override { return sharded_.active(); }
 
   /// Fans the callback out to every shard engine. In threaded mode the

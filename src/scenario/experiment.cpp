@@ -144,6 +144,22 @@ void Experiment::build_flows() {
   // --- legitimate flows ---------------------------------------------------
   const auto n_udp = static_cast<std::size_t>(
       std::lround(cfg_.legit_udp_fraction * double(legit_count_)));
+  // Flash crowd: the tail n_flash legit flows start in a tight correlated
+  // window instead of the steady-state one (spanning both the TCP and the
+  // CBR mix, since the UDP share is carved from the head of the range).
+  const auto n_flash =
+      cfg_.flash_crowd_fraction > 0.0
+          ? std::min(legit_count_,
+                     static_cast<std::size_t>(std::lround(
+                         cfg_.flash_crowd_fraction * double(legit_count_))))
+          : std::size_t{0};
+  const auto legit_start = [this, n_flash](std::size_t i) {
+    if (n_flash > 0 && i >= legit_count_ - n_flash) {
+      return rng_.uniform(cfg_.flash_crowd_start,
+                          cfg_.flash_crowd_start + cfg_.flash_crowd_ramp);
+    }
+    return rng_.uniform(cfg_.legit_start_min, cfg_.legit_start_max);
+  };
   for (std::size_t i = 0; i < legit_count_; ++i) {
     auto& access = domain_->attach_host();
     sketch::attach_ingress_counter(access.uplink, access.router, bank_.get());
@@ -167,8 +183,7 @@ void Experiment::build_flows() {
       src->set_flow_id(flow);
       auto sink = std::make_unique<transport::UdpSink>(&sim_, &factory_,
                                                        victim_node, vport);
-      const double start =
-          rng_.uniform(cfg_.legit_start_min, cfg_.legit_start_max);
+      const double start = legit_start(i);
       transport::CbrSource* src_ptr = src.get();
       sim_.schedule_at(start, [src_ptr] { src_ptr->start(); });
       agents_.push_back(std::move(src));
@@ -183,8 +198,7 @@ void Experiment::build_flows() {
       auto sink = std::make_unique<transport::TcpSink>(&sim_, &factory_,
                                                        victim_node, vport);
       sink->connect(host->addr(), kSourcePort);
-      const double start =
-          rng_.uniform(cfg_.legit_start_min, cfg_.legit_start_max);
+      const double start = legit_start(i);
       transport::TcpSender* src_ptr = src.get();
       sim_.schedule_at(start, [src_ptr] { src_ptr->start(); });
       tcp_sender_ptrs_.push_back(src.get());
@@ -279,6 +293,20 @@ void Experiment::build_defense() {
         });
   }
 
+  // Weighted per-victim quotas: pair each protected destination with its
+  // configured weight (victim order; missing entries weigh 1.0). Applied
+  // to every MAFIC filter below so all ATRs/shards agree on reservations.
+  std::vector<std::pair<util::Addr, double>> quota_weights;
+  if (cfg_.sft_victim_quota > 0.0 && !cfg_.sft_victim_weights.empty()) {
+    quota_weights.reserve(victim_addrs_.size());
+    for (std::size_t i = 0; i < victim_addrs_.size(); ++i) {
+      quota_weights.emplace_back(victim_addrs_[i],
+                                 i < cfg_.sft_victim_weights.size()
+                                     ? cfg_.sft_victim_weights[i]
+                                     : 1.0);
+    }
+  }
+
   // One filter per ingress access uplink (except the victim's own).
   for (const auto& access : domain_->access_links()) {
     sim::Node* atr = net_->node(access.router);
@@ -294,6 +322,7 @@ void Experiment::build_defense() {
             ledger_.on_defense_offered(p, sim_.now());
           });
           core::ShardedMaficFilter* raw = filter.get();
+          if (!quota_weights.empty()) raw->set_victim_weights(quota_weights);
           access.uplink->add_tail_tap(std::move(filter));
           if (fleet_ != nullptr) {
             // Defer this filter's spans into the shared tick drain and
@@ -312,6 +341,7 @@ void Experiment::build_defense() {
           ledger_.on_defense_offered(p, sim_.now());
         });
         core::MaficFilter* raw = filter.get();
+        if (!quota_weights.empty()) raw->set_victim_weights(quota_weights);
         access.uplink->add_head_filter(std::move(filter));
         mafic_filters_.push_back(raw);
         coordinator_->register_actuator(access.router, raw);

@@ -98,6 +98,17 @@ struct ExperimentConfig {
   double legit_udp_fraction = 0.0;  ///< share of legit flows that are CBR
   double legit_udp_rate_bps = 200e3;
 
+  /// Flash crowd: this share of the legitimate flows (taken from the tail
+  /// of the legit index range, mixed TCP/UDP) does NOT start in the
+  /// steady-state [legit_start_min, legit_start_max] window; instead each
+  /// starts uniformly in [flash_crowd_start, flash_crowd_start +
+  /// flash_crowd_ramp] — a sudden, correlated surge of *genuine* clients
+  /// that the defense must tell apart from a flood (Argyraki & Cheriton's
+  /// flash-crowd-vs-flood distinction). 0 disables.
+  double flash_crowd_fraction = 0.0;
+  double flash_crowd_start = 3.5;
+  double flash_crowd_ramp = 0.3;
+
   /// Additional concurrent victims beyond the domain's primary victim.
   /// Each extra victim is a host attached behind a random ingress router;
   /// legitimate flows and zombies target the victims round-robin, the
@@ -132,6 +143,14 @@ struct ExperimentConfig {
   /// slots, and per-victim eviction counts land in
   /// ExperimentResult::per_victim. 0 keeps the legacy global ring.
   double sft_victim_quota = 0.0;
+
+  /// Weighted per-victim quotas: weight of each protected destination in
+  /// victim order (primary victim first, then the extras in attachment
+  /// order), e.g. its provisioned bandwidth in bps. With
+  /// sft_victim_quota > 0, each victim's SFT reservation becomes
+  /// proportional to its weight instead of an equal split (missing
+  /// entries weigh 1.0, extra entries are ignored). Empty = equal split.
+  std::vector<double> sft_victim_weights;
 
   /// Sharded ATR datapath. 0 (default) = the scalar MaficFilter at the
   /// head of each ingress uplink — the legacy, golden-pinned path.
@@ -284,6 +303,10 @@ class Experiment {
   sketch::TrafficMonitor* traffic_monitor() noexcept {
     return monitor_.get();
   }
+  /// The armed zombie-army plan (valid after setup; null with no army).
+  /// The scenario engine installs attack-shape phase timelines through
+  /// this (AttackPlan::arm_phases).
+  attack::AttackPlan* attack_plan() noexcept { return attack_plan_.get(); }
   const ExperimentConfig& config() const noexcept { return cfg_; }
   /// All protected destinations (primary victim + extras).
   const std::vector<util::Addr>& victim_addrs() const noexcept {

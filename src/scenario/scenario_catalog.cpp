@@ -1,0 +1,175 @@
+#include "scenario/scenario_catalog.hpp"
+
+namespace mafic::scenario {
+
+namespace {
+
+std::vector<CatalogEntry> build_catalog() {
+  std::vector<CatalogEntry> entries;
+
+  {
+    // Shrew-style pulsing: the army blasts for pulse_on out of every
+    // pulse_period seconds, starving probation windows of the traffic
+    // they need to converge while keeping the average rate low.
+    ScenarioSpec s;
+    s.name = "pulse_shrew";
+    s.seed = 11;
+    s.routers = 48;
+    s.victims = 1;
+    s.legit_flows = 4000;
+    s.shape = AttackShape::kPulse;
+    s.zombies = 1200;
+    s.attack_total_bps = 24e6;
+    s.pulse_period = 1.2;
+    s.pulse_on = 0.35;
+    s.end_time = 12.0;
+    entries.push_back(
+        {s,
+         "Kuzmanovic & Knightly's shrew attacks; Li et al. (PAPERS.md) "
+         "list pulsing as the low-rate evasion of rate-based defenses",
+         "probations resolve across off-phases: malicious flows still "
+         "reach PDT (alpha high), but slower than under a steady flood"});
+  }
+
+  {
+    // A flash crowd with NO attack: thousands of genuine clients arrive
+    // nearly at once while the defense is already active. Measures pure
+    // collateral damage (false positives) under a legit surge.
+    ScenarioSpec s;
+    s.name = "flash_crowd";
+    s.seed = 22;
+    s.routers = 48;
+    s.victims = 1;
+    s.legit_flows = 8000;
+    s.shape = AttackShape::kNone;
+    s.zombies = 0;
+    s.flash_fraction = 0.5;
+    s.flash_start = 3.2;
+    s.flash_ramp = 0.4;
+    s.trigger_time = 2.7;
+    s.end_time = 10.0;
+    entries.push_back(
+        {s,
+         "Argyraki & Cheriton: a defense must tell flash crowds from "
+         "floods — the surge is responsive, a flood is not",
+         "surge flows answer probes and land in NFT: theta_p and Lr stay "
+         "low, no flow reaches PDT for unresponsiveness"});
+  }
+
+  {
+    // The paper's own evaluation shape at scale: a steady spoofed flood
+    // from thousands of zombies, ramping once and never stopping.
+    ScenarioSpec s;
+    s.name = "udp_flood";
+    s.seed = 33;
+    s.routers = 64;
+    s.victims = 1;
+    s.legit_flows = 5000;
+    s.shape = AttackShape::kFlood;
+    s.zombies = 2000;
+    s.attack_total_bps = 64e6;
+    s.end_time = 10.0;
+    entries.push_back(
+        {s,
+         "the paper's Table II evaluation: steady flood, spoofed "
+         "sources, scripted pushback notification",
+         "the classic result: alpha near Pd quickly, theta_n low, "
+         "legit TCP mostly probed into NFT"});
+  }
+
+  {
+    // Rolling carpet-bombing: the whole army sweeps across many
+    // protected victims, dwelling briefly on each, so no single victim
+    // stays hot long enough for naive per-victim state to converge.
+    ScenarioSpec s;
+    s.name = "carpet_bomb";
+    s.seed = 44;
+    s.routers = 48;
+    s.victims = 8;
+    s.legit_flows = 4000;
+    s.shape = AttackShape::kCarpetBomb;
+    s.zombies = 1500;
+    s.attack_total_bps = 48e6;
+    s.carpet_dwell = 0.6;
+    s.sft_victim_quota = 0.1;
+    s.end_time = 12.0;
+    entries.push_back(
+        {s,
+         "carpet-bombing DDoS (rolling the flood across a victim set) — "
+         "the workload PR 4's per-victim SFT quotas exist for",
+         "every victim shows decisions; quotas stop the hot victim from "
+         "evicting the others' probations (bounded cross-victim "
+         "evictions)"});
+  }
+
+  {
+    // Spoof-churn: the army periodically redraws its spoofed source
+    // addresses, orphaning SFT probations mid-window and refilling the
+    // table with fresh suspects — the probation-heavy stress shape.
+    ScenarioSpec s;
+    s.name = "spoof_churn";
+    s.seed = 55;
+    s.routers = 48;
+    s.victims = 1;
+    s.legit_flows = 3000;
+    s.shape = AttackShape::kSpoofChurn;
+    s.zombies = 1000;
+    s.attack_total_bps = 32e6;
+    s.churn_interval = 0.4;
+    s.sft_capacity = 512;
+    s.end_time = 10.0;
+    entries.push_back(
+        {s,
+         "source-address churn defeats per-flow state by construction "
+         "(Li et al.'s spoofing taxonomy; ablation A5 is the per-packet "
+         "limit of the same idea)",
+         "SFT admissions and capacity evictions dominate: each rotation "
+         "abandons probations, alpha degrades vs the steady flood"});
+  }
+
+  {
+    // Mixed TCP/UDP background at 100k flows across 8 victims with
+    // UNEQUAL provisioned bandwidth: the weighted-quota study. The SFT
+    // reservations follow the provisioning, so the big victims keep
+    // proportionally more probation slots under the shared flood.
+    ScenarioSpec s;
+    s.name = "mixed_background";
+    s.seed = 66;
+    s.routers = 64;
+    s.victims = 8;
+    s.victim_provisioned_bps = {8e6, 6e6, 4e6, 4e6, 2e6, 2e6, 1e6, 1e6};
+    s.legit_flows = 100000;
+    s.legit_udp_fraction = 0.3;
+    s.shape = AttackShape::kFlood;
+    s.zombies = 2000;
+    s.attack_total_bps = 80e6;
+    s.sft_victim_quota = 0.12;
+    s.end_time = 12.0;
+    entries.push_back(
+        {s,
+         "the ROADMAP's mixed TCP/UDP background at 100k-1M flows; "
+         "weighted per-victim quotas proportional to provisioned "
+         "bandwidth",
+         "per-victim SFT reservations scale with provisioning (8:1 "
+         "across the set); collateral damage concentrates on the "
+         "thin-provisioned victims, not the whole set"});
+  }
+
+  return entries;
+}
+
+}  // namespace
+
+const std::vector<CatalogEntry>& catalog() {
+  static const std::vector<CatalogEntry> entries = build_catalog();
+  return entries;
+}
+
+const CatalogEntry* find_scenario(std::string_view name) {
+  for (const CatalogEntry& e : catalog()) {
+    if (e.spec.name == name) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace mafic::scenario

@@ -11,8 +11,12 @@
 //     to capacity pressure;
 //   * engine-level flood isolation (the bug this machinery fixes, shown
 //     failing with the quota off and fixed with it on);
+//   * weighted reservations (PR 8): per-victim quotas proportional to
+//     provisioned bandwidth, incl. the degenerate forms (zero-bandwidth
+//     victim, all-zero weights, reservations clamped into the table);
 //   * experiment-level wiring (knob -> engines, per-victim eviction
-//     counts in ExperimentResult::per_victim).
+//     counts in ExperimentResult::per_victim, sft_victim_weights ->
+//     every engine's reservations).
 
 #include "core/flow_tables.hpp"
 
@@ -21,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/mafic_filter.hpp"
 #include "core/standalone_runtime.hpp"
 #include "scenario/experiment.hpp"
 #include "sim/packet.hpp"
@@ -252,6 +257,151 @@ TEST(VictimQuota, PropertyRingOccupancyMatchesQuotaAccounting) {
   EXPECT_GT(t.stats().quota_evictions, 0u);
 }
 
+// --- weighted reservations (provisioned-bandwidth quotas) ----------------
+
+TEST(VictimQuota, WeightedReservationsFollowProvisionedBandwidth) {
+  // capacity 32, quota 0.25: the equal path would reserve 8 per victim;
+  // the weighted path splits the same 24-slot pool 3:1:0.
+  MaficConfig cfg;
+  cfg.sft_capacity = 32;
+  cfg.sft_victim_quota = 0.25;
+  FlowTables t(cfg);
+  t.set_victim_classes({kVictimA, kVictimB, kVictimC}, {3.0, 1.0, 0.0});
+  EXPECT_EQ(t.victim_classes(), 3u);
+  EXPECT_EQ(t.quota_slots_of(kVictimA), 18u);  // 24 * 3/4
+  EXPECT_EQ(t.quota_slots_of(kVictimB), 6u);   // 24 * 1/4
+  EXPECT_EQ(t.quota_slots_of(kVictimC), 0u);   // zero-bandwidth: no reserve
+
+  // Weights ride the victims through the canonical address sort, so the
+  // caller's ordering cannot change anyone's reservation.
+  FlowTables u(cfg);
+  u.set_victim_classes({kVictimC, kVictimA, kVictimB}, {0.0, 3.0, 1.0});
+  EXPECT_EQ(u.quota_slots_of(kVictimA), 18u);
+  EXPECT_EQ(u.quota_slots_of(kVictimB), 6u);
+  EXPECT_EQ(u.quota_slots_of(kVictimC), 0u);
+}
+
+TEST(VictimQuota, WeightedDegenerateFormsFallBackSafely) {
+  MaficConfig cfg;
+  cfg.sft_capacity = 16;
+  cfg.sft_victim_quota = 0.25;  // pool = 8 over two victims
+  {
+    // All-zero weights mean "no preference": the equal split survives.
+    FlowTables t(cfg);
+    t.set_victim_classes({kVictimA, kVictimB}, {0.0, 0.0});
+    EXPECT_EQ(t.quota_slots_of(kVictimA), 4u);
+    EXPECT_EQ(t.quota_slots_of(kVictimB), 4u);
+  }
+  {
+    // Equal weights are byte-identical to the unweighted knob.
+    FlowTables t(cfg);
+    t.set_victim_classes({kVictimA, kVictimB}, {2.0, 2.0});
+    EXPECT_EQ(t.quota_slots_of(kVictimA), t.quota_slots());
+    EXPECT_EQ(t.quota_slots_of(kVictimB), t.quota_slots());
+  }
+  {
+    // A negative weight clamps to zero instead of corrupting the pool.
+    FlowTables t(cfg);
+    t.set_victim_classes({kVictimA, kVictimB}, {1.0, -5.0});
+    EXPECT_EQ(t.quota_slots_of(kVictimA), 8u);  // the whole pool
+    EXPECT_EQ(t.quota_slots_of(kVictimB), 0u);
+  }
+}
+
+TEST(VictimQuota, WeightedReservationsClampIntoTheTable) {
+  // Same guarantee as the unweighted clamp: summed reservations fit in
+  // the table even when the knob asks for more (0.9 x 8 = 7 slots EACH
+  // here), so an under-quota admitter always finds an over-quota payer.
+  MaficConfig cfg;
+  cfg.sft_capacity = 8;
+  cfg.sft_victim_quota = 0.9;
+  FlowTables t(cfg);
+  t.set_victim_classes({kVictimA, kVictimB}, {3.0, 1.0});
+  EXPECT_EQ(t.quota_slots_of(kVictimA), 6u);  // pool 8, split 3:1
+  EXPECT_EQ(t.quota_slots_of(kVictimB), 2u);
+  EXPECT_LE(t.quota_slots_of(kVictimA) + t.quota_slots_of(kVictimB),
+            cfg.sft_capacity);
+}
+
+TEST(VictimQuota, ZeroWeightVictimAdmitsViaOverflowOnly) {
+  // A zero-bandwidth victim holds no reservation: anything it has is
+  // reclaimable by an under-quota victim, and its own admissions under
+  // pressure always self-pay.
+  MaficConfig cfg;
+  cfg.sft_capacity = 8;
+  cfg.sft_victim_quota = 3.0;  // pool = 2 x min(3, 4) = 6
+  FlowTables t(cfg);
+  t.set_victim_classes({kVictimA, kVictimB}, {1.0, 0.0});
+  ASSERT_EQ(t.quota_slots_of(kVictimA), 6u);
+  ASSERT_EQ(t.quota_slots_of(kVictimB), 0u);
+
+  std::vector<std::pair<util::Addr, EvictCause>> evicted;
+  t.set_eviction_hook([&](const SftEntry& e, EvictCause c) {
+    evicted.emplace_back(e.label.dst, c);
+  });
+
+  // B fills the whole table: every slot it holds is over its zero
+  // reservation (overflow capacity, lent while nobody else wants it).
+  std::uint64_t key = 1;
+  for (int i = 0; i < 8; ++i, ++key) {
+    t.admit_sft(key, label_to(kVictimB, std::uint32_t(key)), double(i), 0.2);
+  }
+  ASSERT_EQ(t.sft_size(), 8u);
+  ASSERT_TRUE(evicted.empty());
+
+  // A admits: far under its quota of 6, so B pays — cause kQuota.
+  t.admit_sft(key, label_to(kVictimA, std::uint32_t(key)), 10.0, 0.2);
+  ++key;
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].first, kVictimB);
+  EXPECT_EQ(evicted[0].second, EvictCause::kQuota);
+  EXPECT_EQ(t.sft_size_of(kVictimA), 1u);
+  EXPECT_EQ(t.sft_size_of(kVictimB), 7u);
+  EXPECT_EQ(t.stats().quota_evictions, 1u);
+
+  // B admits again while full: any occupancy is over quota, so it
+  // self-pays with its own nearest-deadline probation — A untouched.
+  t.admit_sft(key, label_to(kVictimB, std::uint32_t(key)), 10.0, 0.2);
+  ASSERT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(evicted[1].first, kVictimB);
+  EXPECT_EQ(evicted[1].second, EvictCause::kCapacity);
+  EXPECT_EQ(t.sft_size_of(kVictimA), 1u);
+}
+
+TEST(VictimQuota, EngineWeightsAreConsumedAtActivation) {
+  // FilterEngine::set_victim_weights stages weights that the next
+  // activate() resolves against its victim set; victims without a staged
+  // weight default to 1.0.
+  MaficConfig cfg;
+  cfg.sft_capacity = 32;
+  cfg.sft_victim_quota = 0.25;  // pool = 16 over two victims
+  {
+    EngineRuntime rt(cfg, nullptr, util::Rng(7));
+    FilterEngine& eng = rt.engine();
+    eng.set_victim_weights({{kVictimB, 1.0}, {kVictimA, 3.0}});
+    eng.activate({kVictimA, kVictimB});
+    EXPECT_EQ(eng.tables().quota_slots_of(kVictimA), 12u);
+    EXPECT_EQ(eng.tables().quota_slots_of(kVictimB), 4u);
+  }
+  {
+    // Only A staged: B weighs 1.0 by default, same 3:1 split.
+    EngineRuntime rt(cfg, nullptr, util::Rng(7));
+    FilterEngine& eng = rt.engine();
+    eng.set_victim_weights({{kVictimA, 3.0}});
+    eng.activate({kVictimA, kVictimB});
+    EXPECT_EQ(eng.tables().quota_slots_of(kVictimA), 12u);
+    EXPECT_EQ(eng.tables().quota_slots_of(kVictimB), 4u);
+  }
+  {
+    // No weights staged: the unweighted equal split, unchanged.
+    EngineRuntime rt(cfg, nullptr, util::Rng(7));
+    FilterEngine& eng = rt.engine();
+    eng.activate({kVictimA, kVictimB});
+    EXPECT_EQ(eng.tables().quota_slots_of(kVictimA), 8u);
+    EXPECT_EQ(eng.tables().quota_slots_of(kVictimB), 8u);
+  }
+}
+
 // --- engine-level flood isolation ---------------------------------------
 
 struct FloodOutcome {
@@ -367,6 +517,42 @@ TEST(VictimQuotaExperiment, KnobFlowsToEnginesAndPerVictimEvictionCounts) {
   EXPECT_EQ(r.sft_evictions,
             r.per_victim[0].evictions + r.per_victim[1].evictions);
   EXPECT_GT(r.per_victim[0].decided_nice, 0u);  // legit flows still judged
+}
+
+TEST(VictimQuotaExperiment, ProvisionedWeightsFlowToEveryEngine) {
+  // ExperimentConfig::sft_victim_weights (victim order, primary first)
+  // reaches every mounted engine: after the run, each activated filter
+  // reserves SFT slots 3:1 between the two victims instead of 1:1.
+  ExperimentConfig cfg;
+  cfg.seed = 11;
+  cfg.total_flows = 50;
+  cfg.tcp_fraction = 0.98;
+  cfg.router_count = 8;
+  cfg.extra_victims = 1;
+  cfg.per_packet_spoofing = true;
+  cfg.sft_victim_quota = 0.25;
+  cfg.sft_victim_weights = {3.0, 1.0};
+  cfg.mafic.sft_capacity = 16;
+  cfg.end_time = 4.5;
+
+  Experiment exp(cfg);
+  const ExperimentResult r = exp.run();
+  EXPECT_TRUE(r.metrics.triggered);
+  ASSERT_EQ(r.per_victim.size(), 2u);
+  ASSERT_EQ(exp.victim_addrs().size(), 2u);
+  const util::Addr primary = exp.victim_addrs()[0];
+  const util::Addr extra = exp.victim_addrs()[1];
+
+  // pool = 2 x min(4, 16/2) = 8 slots; 3:1 split = 6 and 2 (the equal
+  // split would be 4 and 4).
+  std::size_t activated = 0;
+  for (const core::MaficFilter* f : exp.mafic_filters()) {
+    if (f->tables().victim_classes() < 2) continue;  // never activated
+    ++activated;
+    EXPECT_EQ(f->tables().quota_slots_of(primary), 6u);
+    EXPECT_EQ(f->tables().quota_slots_of(extra), 2u);
+  }
+  EXPECT_GT(activated, 0u);
 }
 
 }  // namespace
