@@ -6,13 +6,56 @@
 /// the attack persists ("Pushback Continue?"), and deactivates them — at
 /// which point MAFIC flushes all tables (Fig. 2 exit arc).
 
-#include <unordered_set>
+#include <algorithm>
+#include <initializer_list>
+#include <vector>
 
 #include "util/ip.hpp"
 
 namespace mafic::core {
 
-using VictimSet = std::unordered_set<util::Addr>;
+/// The set of protected victim addresses, stored as a sorted flat vector.
+/// Iteration order is ascending address order — deterministic by
+/// construction, so anything derived from walking the set (victim class
+/// registration, per-victim emission, golden fingerprints) cannot depend
+/// on hash-bucket layout. The set is tiny (one victim in the common case,
+/// single digits under carpet-bombing), so the binary-search contains()
+/// on the packet gate is at worst a few compares over one cache line.
+class VictimSet {
+ public:
+  VictimSet() = default;
+  VictimSet(std::initializer_list<util::Addr> addrs) {
+    for (const util::Addr a : addrs) insert(a);
+  }
+  template <typename It>
+  VictimSet(It first, It last) {
+    for (; first != last; ++first) insert(*first);
+  }
+
+  void insert(util::Addr a) {
+    const auto it = std::lower_bound(addrs_.begin(), addrs_.end(), a);
+    if (it == addrs_.end() || *it != a) addrs_.insert(it, a);
+  }
+  bool contains(util::Addr a) const noexcept {
+    const auto it = std::lower_bound(addrs_.begin(), addrs_.end(), a);
+    return it != addrs_.end() && *it == a;
+  }
+
+  bool empty() const noexcept { return addrs_.empty(); }
+  std::size_t size() const noexcept { return addrs_.size(); }
+  void clear() noexcept { addrs_.clear(); }
+
+  /// Ascending address order.
+  std::vector<util::Addr>::const_iterator begin() const noexcept {
+    return addrs_.begin();
+  }
+  std::vector<util::Addr>::const_iterator end() const noexcept {
+    return addrs_.end();
+  }
+
+ private:
+  std::vector<util::Addr> addrs_;
+};
 
 class DefenseActuator {
  public:

@@ -40,11 +40,11 @@ FilterEngine::FilterEngine(MaficConfig cfg, Clock* clock,
 void FilterEngine::activate(const VictimSet& victims) {
   for (const auto v : victims) victims_.insert(v);
   if (cfg_.sft_victim_quota > 0.0) {
-    // Register the victim classes for per-victim SFT quotas. Sorted so
-    // class indices are identical no matter how the set iterates — the
-    // scalar-vs-sharded equivalence relies on every engine agreeing.
+    // Register the victim classes for per-victim SFT quotas. VictimSet
+    // iterates in ascending address order, so class indices are identical
+    // no matter how the caller assembled the set — the scalar-vs-sharded
+    // equivalence relies on every engine agreeing.
     std::vector<util::Addr> sorted(victims_.begin(), victims_.end());
-    std::sort(sorted.begin(), sorted.end());
     if (victim_weights_.empty()) {
       tables_.set_victim_classes(sorted);
     } else {
@@ -105,6 +105,7 @@ void FilterEngine::deactivate() {
   }
 }
 
+// maficlint: hot
 EngineVerdict FilterEngine::inspect(const sim::Packet& p) {
   if (!active_) return EngineVerdict::kForward;
   if (!victims_.contains(p.label.dst)) return EngineVerdict::kForward;
@@ -112,6 +113,7 @@ EngineVerdict FilterEngine::inspect(const sim::Packet& p) {
   return inspect_keyed(p, sim::hash_label(p.label));
 }
 
+// maficlint: hot
 EngineVerdict FilterEngine::inspect_hashed(const sim::Packet& p,
                                            std::uint64_t key) {
   if (!active_) return EngineVerdict::kForward;
@@ -120,6 +122,7 @@ EngineVerdict FilterEngine::inspect_hashed(const sim::Packet& p,
   return inspect_keyed(p, key);
 }
 
+// maficlint: hot
 template <typename GetPacket>
 void FilterEngine::inspect_batch_impl(GetPacket&& get, std::size_t n,
                                       EngineVerdict* out) {
@@ -146,6 +149,7 @@ void FilterEngine::inspect_batch_impl(GetPacket&& get, std::size_t n,
   }
 }
 
+// maficlint: hot
 void FilterEngine::inspect_batch(const sim::Packet* pkts, std::size_t n,
                                  EngineVerdict* out) {
   inspect_batch_impl(
@@ -153,6 +157,7 @@ void FilterEngine::inspect_batch(const sim::Packet* pkts, std::size_t n,
       out);
 }
 
+// maficlint: hot
 void FilterEngine::inspect_batch(const sim::Packet* const* pkts,
                                  std::size_t n, EngineVerdict* out) {
   inspect_batch_impl(
@@ -160,6 +165,7 @@ void FilterEngine::inspect_batch(const sim::Packet* const* pkts,
       out);
 }
 
+// maficlint: hot
 void FilterEngine::inspect_batch_keyed(const sim::Packet* const* pkts,
                                        const std::uint64_t* keys,
                                        const std::uint32_t* span_idx,
@@ -199,6 +205,7 @@ bool FilterEngine::pd_coin(const sim::Packet& p, std::uint64_t key) {
   return rng_.bernoulli(cfg_.drop_probability);
 }
 
+// maficlint: hot
 EngineVerdict FilterEngine::inspect_keyed(const sim::Packet& p,
                                           std::uint64_t key) {
   ++stats_.offered;
@@ -212,6 +219,7 @@ EngineVerdict FilterEngine::inspect_keyed(const sim::Packet& p,
   return classify_slow(p, key, now);
 }
 
+// maficlint: hot
 EngineVerdict FilterEngine::classify_slow(const sim::Packet& p,
                                           std::uint64_t key, double now) {
   switch (tables_.classify(key, now)) {

@@ -34,7 +34,7 @@
 /// anything materialized before a structural table mutation.
 
 #include <functional>
-#include <unordered_map>
+#include <map>
 
 #include "core/actuator.hpp"
 #include "core/address_policy.hpp"
@@ -181,8 +181,9 @@ class FilterEngine {
   const FlowTables& tables() const noexcept { return tables_; }
   const RttEstimator& rtt_estimator() const noexcept { return rtt_; }
   const Stats& stats() const noexcept { return stats_; }
-  const std::unordered_map<util::Addr, VictimStats>& victim_stats()
-      const noexcept {
+  /// Ordered by victim address, so per-victim emission (reports, golden
+  /// fingerprints) never depends on hash-bucket iteration order.
+  const std::map<util::Addr, VictimStats>& victim_stats() const noexcept {
     return victim_stats_;
   }
   const VictimSet& victims() const noexcept { return victims_; }
@@ -254,7 +255,9 @@ class FilterEngine {
   ClassificationCallback on_classified_;
   OfferedCallback on_offered_;
   Stats stats_;
-  std::unordered_map<util::Addr, VictimStats> victim_stats_;
+  /// Keyed and iterated in address order (decision paths only touch it on
+  /// probation resolution / screening, never per forwarded packet).
+  std::map<util::Addr, VictimStats> victim_stats_;
 };
 
 }  // namespace mafic::core

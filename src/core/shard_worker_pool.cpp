@@ -10,6 +10,7 @@ namespace {
 std::uint64_t steady_ns() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
+          // maficlint: allow(determinism) occupancy telemetry only — feeds OccupancyStats, never verdicts or fingerprints
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }

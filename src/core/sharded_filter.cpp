@@ -90,6 +90,7 @@ void ShardedFilter::partition_span(const sim::Packet* const* pkts,
   partition_span_range(pkts, 0, n, out);
 }
 
+// maficlint: hot
 void ShardedFilter::partition_span_range(const sim::Packet* const* pkts,
                                          std::size_t begin, std::size_t end,
                                          SpanPartition& out) const {

@@ -75,6 +75,7 @@ class VerdictPipeline {
   /// Pass 1 for the un-keyed callers: gate + hash + store prefetch over
   /// one window, 4-wide unrolled (independent mix64 chains schedule in
   /// parallel). Writes keys[j] / hot[j] for j in [0, m).
+  // maficlint: hot
   template <typename PacketAt>
   static void prehash_window(const FilterEngine& eng, PacketAt&& packet_at,
                              std::size_t m, std::uint64_t* keys,
@@ -104,6 +105,7 @@ class VerdictPipeline {
   ///    gates in pass 1 only, as it always has.
   ///  * seq          — journaled-path sequencer; begin_packet(span_idx[j])
   ///    fires before any of packet j's side effects.
+  // maficlint: hot
   template <bool kRegate, typename EngineAt, typename PacketAt,
             typename NowAt>
   static void window(EngineAt&& engine_at, PacketAt&& packet_at,
@@ -234,6 +236,7 @@ class VerdictPipeline {
     kLaneHot = 5,   ///< pass-2 placeholder, resolved by pass 3
   };
 
+  // maficlint: hot
   static void gate_hash(const FilterEngine& eng, const sim::Packet& p,
                         std::uint64_t* key, std::uint8_t* hot) noexcept {
     const bool h = eng.wants(p);

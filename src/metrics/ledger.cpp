@@ -5,6 +5,9 @@ namespace mafic::metrics {
 void PacketLedger::register_flow(const FlowGroundTruth& truth) {
   FlowRecord rec;
   rec.truth = truth;
+  // Re-registration overwrites in place and keeps the flow's original
+  // position in the iteration order.
+  if (flows_.find(truth.id) == flows_.end()) order_.push_back(truth.id);
   flows_[truth.id] = rec;
 }
 

@@ -86,9 +86,15 @@ class PacketLedger {
     return victim_delivered_bytes_;
   }
 
+  /// Visits every registered flow in REGISTRATION order (deterministic:
+  /// the experiment registers flows in construction order). The storage
+  /// map is unordered for O(1) per-packet counter lookups; iterating it
+  /// directly would leak hash-bucket order into anything summed in
+  /// floating point or emitted per-flow, so the walk goes through the
+  /// registration-order index instead.
   template <typename Fn>
   void for_each_flow(Fn&& fn) const {
-    for (const auto& [id, rec] : flows_) fn(rec);
+    for (const sim::FlowId id : order_) fn(flows_.find(id)->second);
   }
 
   std::uint64_t untracked_drops() const noexcept { return untracked_drops_; }
@@ -100,6 +106,7 @@ class PacketLedger {
   }
 
   std::unordered_map<sim::FlowId, FlowRecord> flows_;
+  std::vector<sim::FlowId> order_;  ///< registration order (for_each_flow)
   double trigger_time_ = std::numeric_limits<double>::infinity();
   util::BinnedSeries victim_offered_bytes_;
   util::BinnedSeries victim_delivered_bytes_;

@@ -8,7 +8,7 @@
 /// response down when the detector clears (unless latched).
 
 #include <functional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "core/actuator.hpp"
@@ -83,8 +83,9 @@ class PushbackCoordinator {
   sim::NodeId victim_router_ = sim::kInvalidNode;
   core::VictimSet victims_;
 
-  std::unordered_map<sim::NodeId, std::vector<core::DefenseActuator*>>
-      actuators_;
+  /// Ordered by router id: control-plane only (registration + activation
+  /// lookups), and any future walk over all actuators is deterministic.
+  std::map<sim::NodeId, std::vector<core::DefenseActuator*>> actuators_;
   std::vector<sim::NodeId> active_atrs_;
 
   bool triggered_ = false;

@@ -378,9 +378,13 @@ void Experiment::build_defense() {
 }
 
 std::vector<sim::NodeId> Experiment::ground_truth_atrs() const {
-  std::unordered_set<sim::NodeId> set(zombie_routers_.begin(),
-                                      zombie_routers_.end());
-  return {set.begin(), set.end()};
+  // Sorted + deduped: this lands in ExperimentResult::atr.ground_truth, so
+  // its order must not depend on any hash-bucket layout.
+  std::vector<sim::NodeId> atrs(zombie_routers_.begin(),
+                                zombie_routers_.end());
+  std::sort(atrs.begin(), atrs.end());
+  atrs.erase(std::unique(atrs.begin(), atrs.end()), atrs.end());
+  return atrs;
 }
 
 void Experiment::arm_trigger() {

@@ -1,11 +1,22 @@
 #include "sim/monitor.hpp"
 
+#include <algorithm>
+
 namespace mafic::sim {
 
 LinkMonitor::LinkMonitor(Simulator* sim, SimplexLink* link, double bin_width)
     : sim_(sim), series_(bin_width), packet_series_(bin_width) {
   link->add_head_filter(std::make_unique<TapConnector>(
       [this](const Packet& p) { observe(p); }));
+}
+
+std::vector<std::pair<FlowId, LinkMonitor::FlowCounters>>
+LinkMonitor::per_flow_sorted() const {
+  std::vector<std::pair<FlowId, FlowCounters>> out(flows_.begin(),
+                                                   flows_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 void LinkMonitor::observe(const Packet& p) {

@@ -8,6 +8,8 @@
 
 #include <memory>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "sim/link.hpp"
 #include "util/time_series.hpp"
@@ -34,9 +36,22 @@ class LinkMonitor {
     return packet_series_;
   }
 
-  const std::unordered_map<FlowId, FlowCounters>& per_flow() const noexcept {
-    return flows_;
+  /// Counters of one flow (zeros when the monitor never saw it). The
+  /// per-flow storage is an unordered map for O(1) per-packet updates;
+  /// it is deliberately NOT exposed by reference — iteration over it
+  /// would leak hash-bucket order into whatever the caller emits. Use
+  /// per_flow_sorted() to walk all flows.
+  FlowCounters per_flow(FlowId id) const {
+    const auto it = flows_.find(id);
+    return it == flows_.end() ? FlowCounters{} : it->second;
   }
+
+  /// All observed flows in ascending FlowId order — the sort-before-emit
+  /// accessor for reports and summaries (deterministic regardless of the
+  /// storage map's bucket layout).
+  std::vector<std::pair<FlowId, FlowCounters>> per_flow_sorted() const;
+
+  std::size_t flow_count() const noexcept { return flows_.size(); }
 
  private:
   void observe(const Packet& p);

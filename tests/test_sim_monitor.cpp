@@ -30,9 +30,18 @@ TEST(LinkMonitor, CountsPacketsBytesAndFlows) {
 
   EXPECT_EQ(mon.packets(), 3u);
   EXPECT_EQ(mon.bytes(), 500u);
-  EXPECT_EQ(mon.per_flow().at(1).packets, 2u);
-  EXPECT_EQ(mon.per_flow().at(1).bytes, 200u);
-  EXPECT_EQ(mon.per_flow().at(2).packets, 1u);
+  EXPECT_EQ(mon.per_flow(1).packets, 2u);
+  EXPECT_EQ(mon.per_flow(1).bytes, 200u);
+  EXPECT_EQ(mon.per_flow(2).packets, 1u);
+  EXPECT_EQ(mon.per_flow(3).packets, 0u);  // never observed: zeros
+
+  // Sort-before-emit accessor: ascending FlowId, all observed flows.
+  const auto sorted = mon.per_flow_sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].first, 1u);
+  EXPECT_EQ(sorted[0].second.packets, 2u);
+  EXPECT_EQ(sorted[1].first, 2u);
+  EXPECT_EQ(sorted[1].second.bytes, 300u);
 }
 
 TEST(LinkMonitor, SeriesRecordsArrivalTimes) {

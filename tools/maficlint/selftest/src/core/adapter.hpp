@@ -1,0 +1,10 @@
+#pragma once
+
+// Fixture: the declared core->sim adapter. Including the runtime header
+// from HERE is legal — this file must produce zero findings.
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+
+namespace fix {
+struct Adapter {};
+}  // namespace fix

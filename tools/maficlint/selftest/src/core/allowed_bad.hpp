@@ -1,0 +1,10 @@
+#pragma once
+
+// Fixture: a layering violation suppressed by the escape hatch — must be
+// counted as an allow() waiver, not reported as a finding.
+// maficlint: allow(layering) fixture: legacy include pending migration
+#include "scenario/spec.hpp"
+
+namespace fix {
+struct AllowedBad {};
+}  // namespace fix

@@ -1,0 +1,11 @@
+#pragma once
+
+// Fixture: escape-hatch hygiene. An allow() naming an unknown rule and an
+// allow() with no justification are both findings in their own right.
+
+// maficlint: allow(nonexistent) this rule name does not exist
+// maficlint: allow(determinism)
+
+namespace fix {
+struct BadAllows {};
+}  // namespace fix

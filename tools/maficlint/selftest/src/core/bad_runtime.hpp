@@ -1,0 +1,10 @@
+#pragma once
+
+// Fixture: a core file that is NOT a declared adapter pulling in the sim
+// runtime header. Vocabulary headers (sim/types.hpp) would be fine;
+// simulator.hpp is not.
+#include "sim/simulator.hpp"
+
+namespace fix {
+struct BadRuntimeUser {};
+}  // namespace fix

@@ -1,0 +1,30 @@
+// Fixture: a fingerprint-feeding TU (listed in the manifest's
+// fingerprint_tus). Iterating an unordered container here leaks
+// hash-bucket order into results: one range-for and one iterator walk.
+
+#include <unordered_map>
+
+namespace fix {
+
+struct FingerprintFeeder {
+  std::unordered_map<int, int> counts_;
+
+  int range_for_leak() const {
+    int sum = 0;
+    for (const auto& kv : counts_) {
+      sum = sum * 31 + kv.second;  // order-sensitive fold
+    }
+    return sum;
+  }
+
+  int iterator_leak() const {
+    int first = 0;
+    for (auto it = counts_.begin(); it != counts_.end(); ++it) {
+      first = it->first;
+      break;
+    }
+    return first;
+  }
+};
+
+}  // namespace fix

@@ -1,0 +1,35 @@
+#pragma once
+
+// Fixture: hot-path allocation lint. `alloc_twice` and `erase_types` each
+// carry two violations; `sized_once` suppresses a resize with allow().
+
+#include <functional>
+#include <vector>
+
+namespace fix {
+
+struct HotFixture {
+  std::vector<int> buf;
+
+  // maficlint: hot
+  void alloc_twice(int v) {
+    buf.push_back(v);
+    int* p = new int[4];
+    delete[] p;
+  }
+
+  // maficlint: hot
+  int erase_types(int v) {
+    std::function<int(int)> f = [](int x) { return x + 1; };
+    if (v < 0) throw v;
+    return f(v);
+  }
+
+  // maficlint: hot
+  void sized_once() {
+    // maficlint: allow(hotpath) fixture: sized exactly once at activation
+    buf.resize(64);
+  }
+};
+
+}  // namespace fix

@@ -1,0 +1,41 @@
+// Fixture: the epoch-bump audit. `admit` is listed and bumps (clean);
+// `flush` is listed but forgot its bump (finding); `sneaky` shows a
+// mutation signal but is not in the manifest's mutator list (finding);
+// `has` is a clean read-only method.
+
+#include <cstdint>
+#include <set>
+
+namespace fix {
+
+class Tables {
+ public:
+  void admit(std::uint64_t key);
+  void flush();
+  void sneaky(std::uint64_t key);
+  bool has(std::uint64_t key) const;
+
+ private:
+  std::set<std::uint64_t> store_;
+  std::uint64_t epoch_ = 0;
+};
+
+void Tables::admit(std::uint64_t key) {
+  store_.insert(key);
+  ++epoch_;
+}
+
+void Tables::flush() {
+  store_.clear();
+}
+
+void Tables::sneaky(std::uint64_t key) {
+  store_.erase(key);
+  ++epoch_;
+}
+
+bool Tables::has(std::uint64_t key) const {
+  return store_.count(key) != 0;
+}
+
+}  // namespace fix

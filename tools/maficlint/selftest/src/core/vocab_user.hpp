@@ -1,0 +1,8 @@
+#pragma once
+
+// Fixture: any core file may include sim VOCABULARY headers. Zero findings.
+#include "sim/types.hpp"
+
+namespace fix {
+struct VocabUser {};
+}  // namespace fix

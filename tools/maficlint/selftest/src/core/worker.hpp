@@ -1,0 +1,14 @@
+#pragma once
+
+// Fixture: a manifest-listed worker-side file that illegally names
+// coordinator-side objects — once for the event loop, once for the
+// metrics layer.
+
+namespace fix {
+
+struct Worker {
+  void attach(Simulator* event_loop);
+  void log_drop() { metrics::touch(); }
+};
+
+}  // namespace fix

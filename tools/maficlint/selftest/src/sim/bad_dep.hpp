@@ -1,0 +1,8 @@
+#pragma once
+
+// Fixture: sim must never include scenario (or any layer above itself).
+#include "scenario/spec.hpp"
+
+namespace fix {
+struct SimThing {};
+}  // namespace fix

@@ -1,0 +1,8 @@
+#pragma once
+
+// Fixture: util is the bottom layer and may depend on nothing but itself.
+#include "sim/types.hpp"
+
+namespace fix {
+using BadAlias = int;
+}  // namespace fix
