@@ -1239,6 +1239,45 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "FAIL: smoke fleet tick batching diverged\n");
         ok = false;
       }
+      // Asynchronous control-plane detection under TSan: detector-mode
+      // runs submit each epoch's detection step to the same worker pool
+      // the classify bursts use (snapshot freeze -> pooled detect ->
+      // apply event), gated on bit-identity with the inline-detection
+      // serial run.
+      cfg.fleet_tick_batch = false;
+      cfg.trigger = scenario::TriggerMode::kDetector;
+      cfg.extra_victims = 1;
+      cfg.end_time = 5.0;
+      cfg.shard_threads = 0;
+      scenario::Experiment det_serial_exp(cfg);
+      const scenario::ExperimentResult det_serial = det_serial_exp.run();
+      cfg.shard_threads = 4;
+      scenario::Experiment det_pool_exp(cfg);
+      const scenario::ExperimentResult det_pool = det_pool_exp.run();
+      const auto* cp = det_pool_exp.control_plane();
+      bool det_same =
+          det_serial.events_processed == det_pool.events_processed &&
+          det_serial.per_victim.size() == det_pool.per_victim.size() &&
+          cp != nullptr && cp->epochs_observed() > 0 &&
+          cp->detection_steps_pooled() == cp->epochs_observed();
+      for (std::size_t v = 0;
+           det_same && v < det_serial.per_victim.size(); ++v) {
+        det_same = det_serial.per_victim[v].alarms ==
+                       det_pool.per_victim[v].alarms &&
+                   det_serial.per_victim[v].trigger_time ==
+                       det_pool.per_victim[v].trigger_time;
+      }
+      std::printf("[smoke] detector control plane (4 workers): %llu epochs, "
+                  "%llu pooled detection steps, %s\n",
+                  static_cast<unsigned long long>(
+                      cp != nullptr ? cp->epochs_observed() : 0),
+                  static_cast<unsigned long long>(
+                      cp != nullptr ? cp->detection_steps_pooled() : 0),
+                  det_same ? "identical to inline" : "DIVERGED");
+      if (!det_same) {
+        std::fprintf(stderr, "FAIL: smoke detector control plane diverged\n");
+        ok = false;
+      }
     }
     return ok ? 0 : 1;
   }

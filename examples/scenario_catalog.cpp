@@ -3,6 +3,7 @@
 //
 //   ./build/example_scenario_catalog                 list the catalog
 //   ./build/example_scenario_catalog --smoke         run every entry small
+//   ./build/example_scenario_catalog --detector      detector-mode battery
 //   ./build/example_scenario_catalog <name>          run one entry (nominal)
 //   ./build/example_scenario_catalog <name> --smoke  run one entry small
 //
@@ -70,17 +71,66 @@ static int run_entry(const scenario::CatalogEntry& e, bool smoke) {
   return 0;
 }
 
+// The detector-mode battery cases of tests/test_detector_catalog.cpp:
+// smoke-scaled catalog shapes re-run under the asynchronous control
+// plane. Prints the detector fingerprints the golden map pins.
+static int run_detector_battery() {
+  struct Case {
+    const char* scenario;
+    bool latch;
+  };
+  const Case cases[] = {
+      {"carpet_bomb", true},
+      {"spoof_churn", true},
+      {"pulse_shrew", false},
+  };
+  for (const Case& c : cases) {
+    const scenario::CatalogEntry* e = scenario::find_scenario(c.scenario);
+    if (e == nullptr) return 1;
+    scenario::ScenarioSpec spec = scenario::smoke_scale(e->spec);
+    spec.detector_trigger = true;
+    spec.detector_latch = c.latch;
+    // Battery tuning mirrored from tests/test_detector_catalog.cpp:
+    // hotter army than the smoke cap, |Dj| floor above ack-stream noise.
+    spec.attack_total_bps = 24e6;
+    spec.detector_min_packets = 150.0;
+    spec.name =
+        spec.name + (c.latch ? "+detector" : "+detector_unlatched");
+    scenario::Strategy strat;  // scalar tail comparator
+    const scenario::ScenarioOutcome out =
+        scenario::run_scenario(spec, strat);
+    std::printf("--- %s ---\n", spec.name.c_str());
+    for (const auto& pv : out.result.per_victim) {
+      std::printf(
+          "  victim %08x: alarms=%llu trigger=%.3f clear=%.3f\n",
+          pv.victim, static_cast<unsigned long long>(pv.alarms),
+          pv.trigger_time, pv.clear_time);
+    }
+    std::printf("  atrs identified: %zu\n",
+                out.result.atr.identified.size());
+    std::printf("  detector fingerprint: %016llx\n",
+                static_cast<unsigned long long>(
+                    scenario::detector_fingerprint(out.result)));
+  }
+  std::printf("\ndetector battery OK\n");
+  return 0;
+}
+
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool detector = false;
   std::string name;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--detector") == 0) {
+      detector = true;
     } else {
       name = argv[i];
     }
   }
 
+  if (detector) return run_detector_battery();
   if (name.empty() && !smoke) {
     list_catalog();
     return 0;

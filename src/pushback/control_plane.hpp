@@ -1,0 +1,143 @@
+#pragma once
+
+/// \file control_plane.hpp
+/// The asynchronous control-plane detector: multi-victim detection that
+/// runs off the classify path.
+///
+/// Shape (mirrors the SDN-controller split of the related repos — a
+/// detection loop polling frozen stats, actuation through a registry):
+///
+///   1. SNAPSHOT — at every TrafficMonitor epoch (an epoch-aligned sim
+///      event on the sim thread) the plane freezes a ControlSnapshot:
+///      a by-value copy of the traffic matrix plus per-victim counter
+///      samples pulled through an opaque CounterSource callback. No
+///      datapath structure is referenced after this point.
+///   2. DETECT — the DetectorFeaturePipeline consumes the snapshot:
+///      abnormal-|Dj| per protected destination (identical rule to the
+///      inline VictimDetector), feature extraction (velocity, fan-in,
+///      population shift), and ATR identification for every alarming
+///      victim. The step is a pure function of the snapshot plus the
+///      pipeline's own state, so when a ShardWorkerPool is attached it
+///      runs as a pool task (submit + wait inside the epoch callback —
+///      the fan-out/join pair is the happens-before edge) and produces
+///      bit-identical results to the inline path.
+///   3. APPLY — pending per-victim actions are applied at ONE scheduled
+///      event a fixed control delay later, through the coordinator's
+///      engage_victim / disengage_victim registry.
+///
+/// Determinism contract: snapshot points are epoch events, the apply
+/// event fires at epoch_end + control_delay, and detection never reads
+/// live state — so detector-mode runs are bit-identical across the
+/// scalar / sharded / threaded / fleet strategies and across pooled vs
+/// inline detection (the scenario-catalog equivalence battery pins it).
+///
+/// This file is control-plane code: the maficlint `seams` rule checks
+/// it never names FlowTables or the verdict pipeline — engines are
+/// reached only through DefenseActuator (via the coordinator) and the
+/// CounterSource seam.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/shard_worker_pool.hpp"
+#include "pushback/coordinator.hpp"
+#include "pushback/detector_features.hpp"
+#include "sketch/control_snapshot.hpp"
+#include "sketch/traffic_matrix.hpp"
+#include "sim/simulator.hpp"
+
+namespace mafic::pushback {
+
+class ControlPlane {
+ public:
+  struct Config {
+    double control_delay = 0.01;  ///< detect -> apply signaling delay
+    bool latch = true;  ///< keep responses engaged after the alarm clears
+    AtrConfig atr{};
+    FeatureConfig features{};
+  };
+
+  /// Everything the plane knows about one protected destination.
+  struct VictimStatus {
+    util::Addr victim = util::kInvalidAddr;
+    sim::NodeId router = sim::kInvalidNode;  ///< last-hop router
+    bool alarming = false;  ///< detector state after the latest epoch
+    bool engaged = false;   ///< response currently active
+    std::uint64_t alarms = 0;    ///< raise transitions observed
+    double trigger_time = -1.0;  ///< first engagement (apply-event time)
+    double clear_time = -1.0;    ///< last disengagement
+    std::vector<sim::NodeId> atrs;  ///< engaged ATRs, sorted
+    FeatureVector features{};       ///< latest epoch's feature vector
+  };
+
+  /// Fills the counter fields of pre-sized samples (victim + router are
+  /// already set, in protect() order). The experiment wires this to its
+  /// engine aggregation; the plane itself never sees those types.
+  using CounterSource =
+      std::function<void(std::vector<sketch::VictimCounterSample>&)>;
+
+  ControlPlane(sim::Simulator* sim, PushbackCoordinator* coordinator,
+               Config cfg);
+
+  /// Declares a protected destination. Call once per victim, primary
+  /// first — statuses() and counter samples keep this order.
+  void protect(sim::NodeId victim_router, util::Addr victim_addr);
+
+  /// Subscribes the plane's epoch handler to the traffic monitor.
+  void watch(sketch::TrafficMonitor& monitor);
+
+  /// Feeds one epoch snapshot directly (what watch() subscribes). Must
+  /// be called from the sim thread at an epoch-aligned event; schedules
+  /// the apply event itself.
+  void ingest(const sketch::TrafficMatrixSnapshot& snap);
+
+  void set_counter_source(CounterSource src) {
+    counter_source_ = std::move(src);
+  }
+
+  /// Attaches a worker pool; detection steps then run as pool tasks.
+  /// Pass nullptr (or never call) for inline detection — results are
+  /// identical either way.
+  void set_pool(core::ShardWorkerPool* pool) { pool_ = pool; }
+
+  const std::vector<VictimStatus>& statuses() const noexcept {
+    return statuses_;
+  }
+  /// Sorted union of all engaged responses' ATRs.
+  std::vector<sim::NodeId> active_atrs() const {
+    return coordinator_->engaged_atrs();
+  }
+
+  std::uint64_t epochs_observed() const noexcept { return epochs_; }
+  std::uint64_t detection_steps_pooled() const noexcept {
+    return pooled_steps_;
+  }
+  std::uint64_t apply_events() const noexcept { return apply_events_; }
+  const Config& config() const noexcept { return cfg_; }
+
+ private:
+  /// One victim's pending transition, decided at the epoch event and
+  /// executed at the apply event.
+  struct Action {
+    std::size_t index = 0;  ///< into statuses_
+    bool engage = false;
+    bool disengage = false;
+    std::vector<AtrScore> atrs;  ///< newly-identified ATRs to engage
+  };
+
+  void apply(const std::vector<Action>& actions);
+
+  sim::Simulator* sim_;
+  PushbackCoordinator* coordinator_;
+  Config cfg_;
+  DetectorFeaturePipeline pipeline_;
+  core::ShardWorkerPool* pool_ = nullptr;
+  CounterSource counter_source_;
+  std::vector<VictimStatus> statuses_;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t pooled_steps_ = 0;
+  std::uint64_t apply_events_ = 0;
+};
+
+}  // namespace mafic::pushback

@@ -31,7 +31,10 @@ void PushbackCoordinator::watch(sketch::TrafficMonitor& monitor) {
 
 void PushbackCoordinator::protect(sim::NodeId victim_router,
                                   util::Addr victim_addr) {
-  victim_router_ = victim_router;
+  // First call fixes the legacy single-victim watch() path's router;
+  // later calls only extend the scripted-activation victim set (the
+  // multi-victim control-plane path tracks routers per response).
+  if (victim_router_ == sim::kInvalidNode) victim_router_ = victim_router;
   victims_.insert(victim_addr);
 }
 
@@ -69,11 +72,105 @@ void PushbackCoordinator::engage(const sketch::TrafficMatrixSnapshot& snap) {
     trigger_time_ = sim_->now() + cfg_.control_delay;
     if (on_trigger_) on_trigger_(trigger_time_, atrs);
   }
-  if (!refreshing_) {
-    refreshing_ = true;
-    refresh_event_ =
-        sim_->schedule(cfg_.refresh_interval, [this] { refresh_tick(); });
+  start_refresh_loop();
+}
+
+void PushbackCoordinator::start_refresh_loop() {
+  if (refreshing_) return;
+  refreshing_ = true;
+  refresh_event_ =
+      sim_->schedule(cfg_.refresh_interval, [this] { refresh_tick(); });
+}
+
+core::VictimSet PushbackCoordinator::victims_for_router(
+    sim::NodeId router) const {
+  core::VictimSet set;
+  for (const auto& [victim, resp] : responses_) {
+    if (!resp.engaged) continue;
+    if (std::binary_search(resp.atrs.begin(), resp.atrs.end(), router)) {
+      set.insert(victim);
+    }
   }
+  return set;
+}
+
+void PushbackCoordinator::engage_victim(util::Addr victim,
+                                        sim::NodeId victim_router,
+                                        const std::vector<AtrScore>& atrs) {
+  if (atrs.empty()) return;
+  auto& resp = responses_[victim];
+  resp.router = victim_router;
+
+  if (!resp.engaged) {
+    resp.engaged = true;
+    ++resp.engagements;
+    if (resp.trigger_time < 0.0) resp.trigger_time = sim_->now();
+  }
+
+  std::vector<sim::NodeId> fresh;
+  for (const auto& score : atrs) {
+    const auto it =
+        std::lower_bound(resp.atrs.begin(), resp.atrs.end(), score.router);
+    if (it != resp.atrs.end() && *it == score.router) continue;
+    resp.atrs.insert(it, score.router);
+    fresh.push_back(score.router);
+  }
+
+  // Activate (or extend: engine activation is additive, so an actuator
+  // already defending another victim just gains this one) every router
+  // that is new FOR THIS response, with the full per-router union.
+  for (const sim::NodeId router : fresh) {
+    const auto it = actuators_.find(router);
+    if (it == actuators_.end()) continue;
+    const core::VictimSet set = victims_for_router(router);
+    for (core::DefenseActuator* a : it->second) a->activate(set);
+  }
+
+  if (!triggered_) {
+    triggered_ = true;
+    trigger_time_ = sim_->now();
+    if (on_trigger_) on_trigger_(trigger_time_, atrs);
+  }
+  start_refresh_loop();
+}
+
+void PushbackCoordinator::disengage_victim(util::Addr victim) {
+  const auto rit = responses_.find(victim);
+  if (rit == responses_.end() || !rit->second.engaged) return;
+  auto& resp = rit->second;
+  resp.engaged = false;
+  resp.clear_time = sim_->now();
+  const std::vector<sim::NodeId> routers = std::move(resp.atrs);
+  resp.atrs.clear();
+
+  for (const sim::NodeId router : routers) {
+    const auto it = actuators_.find(router);
+    if (it == actuators_.end()) continue;
+    const core::VictimSet remaining = victims_for_router(router);
+    if (remaining.empty()) {
+      for (core::DefenseActuator* a : it->second) a->deactivate();
+    } else {
+      // Shared router: other victims still need it. Engines only grow
+      // their victim set while active, so shrinking is a flush +
+      // re-activate with the remaining union.
+      for (core::DefenseActuator* a : it->second) {
+        a->deactivate();
+        a->activate(remaining);
+      }
+      ++retargets_;
+    }
+  }
+}
+
+std::vector<sim::NodeId> PushbackCoordinator::engaged_atrs() const {
+  std::vector<sim::NodeId> out;
+  for (const auto& [victim, resp] : responses_) {
+    if (!resp.engaged) continue;
+    out.insert(out.end(), resp.atrs.begin(), resp.atrs.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 void PushbackCoordinator::activate_router(sim::NodeId router) {
@@ -85,14 +182,26 @@ void PushbackCoordinator::activate_router(sim::NodeId router) {
 void PushbackCoordinator::refresh_tick() {
   refresh_event_ = sim::kInvalidEvent;
   if (!refreshing_) return;
+  // Legacy single-victim path: refresh while latched or still alarming.
   const bool attack_ongoing =
       cfg_.latch || detector_.alarming(victim_router_);
+  std::vector<sim::NodeId> routers;
   if (attack_ongoing) {
-    for (const auto router : active_atrs_) {
-      const auto it = actuators_.find(router);
-      if (it == actuators_.end()) continue;
-      for (core::DefenseActuator* a : it->second) a->refresh();
-    }
+    routers.assign(active_atrs_.begin(), active_atrs_.end());
+  }
+  // Multi-victim responses: "engaged" already encodes the keep-alive
+  // decision (the control plane disengages on clear when unlatched), so
+  // every engaged router gets refreshed.
+  for (const auto& [victim, resp] : responses_) {
+    if (!resp.engaged) continue;
+    routers.insert(routers.end(), resp.atrs.begin(), resp.atrs.end());
+  }
+  std::sort(routers.begin(), routers.end());
+  routers.erase(std::unique(routers.begin(), routers.end()), routers.end());
+  for (const sim::NodeId router : routers) {
+    const auto it = actuators_.find(router);
+    if (it == actuators_.end()) continue;
+    for (core::DefenseActuator* a : it->second) a->refresh();
   }
   refresh_event_ =
       sim_->schedule(cfg_.refresh_interval, [this] { refresh_tick(); });
@@ -115,6 +224,19 @@ void PushbackCoordinator::cancel() {
     for (core::DefenseActuator* a : it->second) a->deactivate();
   }
   active_atrs_.clear();
+  for (auto& [victim, resp] : responses_) {
+    if (!resp.engaged) continue;
+    resp.engaged = false;
+    resp.clear_time = sim_->now();
+    for (const sim::NodeId router : resp.atrs) {
+      const auto it = actuators_.find(router);
+      if (it == actuators_.end()) continue;
+      // Deactivating a shared router twice is fine (idempotent flush);
+      // after cancel() nothing is engaged, so no retarget is needed.
+      for (core::DefenseActuator* a : it->second) a->deactivate();
+    }
+    resp.atrs.clear();
+  }
 }
 
 }  // namespace mafic::pushback

@@ -7,6 +7,7 @@
 /// delay), keeps them refreshed while the attack persists, and tears the
 /// response down when the detector clears (unless latched).
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <vector>
@@ -30,6 +31,18 @@ class PushbackCoordinator {
 
   using TriggerCallback = std::function<void(
       double time, const std::vector<AtrScore>& atrs)>;
+
+  /// Per-victim response bookkeeping for the multi-victim control-plane
+  /// path (engage_victim / disengage_victim). The legacy single-victim
+  /// watch() path does not touch these.
+  struct VictimResponse {
+    sim::NodeId router = sim::kInvalidNode;  ///< victim's last-hop router
+    bool engaged = false;
+    double trigger_time = -1.0;  ///< first engagement (never reset)
+    double clear_time = -1.0;    ///< last disengagement
+    std::uint64_t engagements = 0;  ///< disengage->engage transitions
+    std::vector<sim::NodeId> atrs;  ///< currently engaged ATRs, sorted
+  };
 
   PushbackCoordinator(sim::Simulator* sim, Config cfg);
   ~PushbackCoordinator();
@@ -61,8 +74,40 @@ class PushbackCoordinator {
   VictimDetector& detector() noexcept { return detector_; }
   const Config& config() const noexcept { return cfg_; }
 
+  /// --- Multi-victim actuation (asynchronous control-plane path) ---
+  ///
+  /// The ControlPlane runs detection off-path and calls these at its
+  /// apply event (the control delay has already elapsed), so activation
+  /// is immediate. Engaging activates actuators at any newly-identified
+  /// ATRs with the union of victims every engaged response wants at that
+  /// router; disengaging deactivates exclusive routers outright and
+  /// RETARGETS shared ones (engines cannot shrink their victim set
+  /// without a flush, so shared routers are flushed and re-activated
+  /// with the remaining union).
+
+  /// Engages or extends the response for one victim. No-op when `atrs`
+  /// is empty; already-engaged ATRs are skipped. Fires the trigger
+  /// callback on the first engagement overall.
+  void engage_victim(util::Addr victim, sim::NodeId victim_router,
+                     const std::vector<AtrScore>& atrs);
+
+  /// Tears down one victim's response (detector cleared, unlatched).
+  void disengage_victim(util::Addr victim);
+
+  /// Per-victim responses, keyed (and iterated) in address order.
+  const std::map<util::Addr, VictimResponse>& responses() const noexcept {
+    return responses_;
+  }
+
+  /// Sorted, deduplicated union of all engaged responses' ATRs.
+  std::vector<sim::NodeId> engaged_atrs() const;
+
+  /// Shared-router flush+re-activate cycles performed by disengage.
+  std::uint64_t retargets() const noexcept { return retargets_; }
+
   /// Manually ends the response (also invoked on detector clear when not
-  /// latched).
+  /// latched). Tears down both the legacy single-victim response and
+  /// every engaged multi-victim response.
   void cancel();
 
  private:
@@ -75,6 +120,10 @@ class PushbackCoordinator {
   void on_clear(sim::NodeId router, double time);
   void activate_router(sim::NodeId router);
   void refresh_tick();
+  /// Union of victim addresses every *engaged* response wants defended
+  /// at `router` (address-ordered map walk: deterministic).
+  core::VictimSet victims_for_router(sim::NodeId router) const;
+  void start_refresh_loop();
 
   sim::Simulator* sim_;
   Config cfg_;
@@ -87,6 +136,8 @@ class PushbackCoordinator {
   /// lookups), and any future walk over all actuators is deterministic.
   std::map<sim::NodeId, std::vector<core::DefenseActuator*>> actuators_;
   std::vector<sim::NodeId> active_atrs_;
+  std::map<util::Addr, VictimResponse> responses_;
+  std::uint64_t retargets_ = 0;
 
   bool triggered_ = false;
   double trigger_time_ = 0.0;

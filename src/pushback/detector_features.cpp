@@ -1,0 +1,76 @@
+#include "pushback/detector_features.hpp"
+
+namespace mafic::pushback {
+
+DetectorFeaturePipeline::DetectorFeaturePipeline(FeatureConfig cfg)
+    : cfg_(cfg), ewma_(cfg.ewma) {}
+
+std::vector<VictimDecision> DetectorFeaturePipeline::step(
+    const sketch::ControlSnapshot& snap) {
+  // The |Dj| detector walks every router; baselines for non-victim
+  // routers cost a few doubles each and keep its semantics identical to
+  // the inline single-victim path.
+  ewma_.on_epoch(snap.matrix);
+  ++epochs_;
+
+  if (states_.size() < snap.victims.size()) {
+    states_.resize(snap.victims.size());
+  }
+
+  std::vector<VictimDecision> out;
+  out.reserve(snap.victims.size());
+  for (std::size_t vi = 0; vi < snap.victims.size(); ++vi) {
+    const auto& sample = snap.victims[vi];
+    auto& st = states_[vi];
+
+    VictimDecision dec;
+    dec.victim = sample.victim;
+    dec.router = sample.last_hop_router;
+
+    FeatureVector& f = dec.features;
+    f.d = sample.last_hop_router < snap.matrix.d.size()
+              ? snap.matrix.d_count(sample.last_hop_router)
+              : 0.0;
+    f.baseline = ewma_.baseline(sample.last_hop_router);
+    f.velocity = st.have_prev_d ? f.d - st.prev_d : 0.0;
+    st.prev_d = f.d;
+    st.have_prev_d = true;
+
+    if (sample.last_hop_router < snap.matrix.s.size()) {
+      for (sim::NodeId i = 0;
+           i < static_cast<sim::NodeId>(snap.matrix.s.size()); ++i) {
+        if (snap.matrix.a(i, sample.last_hop_router) >= cfg_.fan_in_floor) {
+          f.fan_in += 1.0;
+        }
+      }
+    }
+
+    const double decided = static_cast<double>(sample.decided_nice) +
+                           static_cast<double>(sample.decided_malicious);
+    f.malicious_share =
+        decided > 0.0
+            ? static_cast<double>(sample.decided_malicious) / decided
+            : 0.0;
+    f.population_shift =
+        st.have_prev_share ? f.malicious_share - st.prev_share : 0.0;
+    st.prev_share = f.malicious_share;
+    st.have_prev_share = true;
+
+    // Extra gates (default off): level-triggered, no hysteresis.
+    st.gate_alarming =
+        (cfg_.velocity_trigger > 0.0 && f.velocity >= cfg_.velocity_trigger) ||
+        (cfg_.fan_in_trigger > 0.0 && f.fan_in >= cfg_.fan_in_trigger);
+
+    const bool now_alarming =
+        ewma_.alarming(sample.last_hop_router) || st.gate_alarming;
+    dec.raised = now_alarming && !st.alarming;
+    dec.cleared = !now_alarming && st.alarming;
+    dec.alarming = now_alarming;
+    st.alarming = now_alarming;
+
+    out.push_back(dec);
+  }
+  return out;
+}
+
+}  // namespace mafic::pushback

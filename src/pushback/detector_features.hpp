@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file detector_features.hpp
+/// Per-victim feature extraction + alarm decision for the asynchronous
+/// control plane. Each epoch the pipeline consumes one frozen
+/// ControlSnapshot and, for every protected destination, emits a
+/// FeatureVector (|Dj|, EWMA baseline, flow-arrival velocity, ingress
+/// fan-in, decision-population shift) plus the alarm transition for that
+/// victim.
+///
+/// The alarm rule itself is still the paper's abnormal-|Dj| test — the
+/// pipeline embeds a VictimDetector so trigger/clear/warmup/freeze
+/// semantics are literally the same code path the inline detector uses.
+/// The extra features ship in the vector for reporting, and two optional
+/// gates (velocity, fan-in) can ALSO raise an alarm; both default to
+/// "off" so the pipeline's default decision is bit-identical to the
+/// plain detector.
+///
+/// Everything here is a pure function of the snapshot plus the
+/// pipeline's own per-victim state: no live datapath access, so a step
+/// may run on a ShardWorkerPool worker (the submitting sim thread joins
+/// before reading the results).
+
+#include <cstdint>
+#include <vector>
+
+#include "pushback/victim_detector.hpp"
+#include "sketch/control_snapshot.hpp"
+
+namespace mafic::pushback {
+
+/// One epoch's observations for one protected destination.
+struct FeatureVector {
+  double d = 0.0;         ///< |Dj| estimate at the victim's last-hop router
+  double baseline = 0.0;  ///< EWMA baseline (pre-update, frozen if alarming)
+  /// Change in |Dj| versus the previous epoch (first epoch: 0). The
+  /// "flow-arrival velocity" proxy: distinct-packet growth per epoch.
+  double velocity = 0.0;
+  /// Number of ingress routers whose a_ij meets the fan-in floor — how
+  /// widely distributed the traffic converging on this victim is.
+  double fan_in = 0.0;
+  /// Cumulative malicious share of decided flows for this victim,
+  /// decided_malicious / (decided_nice + decided_malicious); 0 until the
+  /// filters have decided anything (i.e. before activation).
+  double malicious_share = 0.0;
+  /// Change in malicious_share versus the previous epoch. Only
+  /// meaningful once a response is active and flows are being decided.
+  double population_shift = 0.0;
+};
+
+struct FeatureConfig {
+  /// The abnormal-|Dj| rule (trigger/clear factors, warmup, floor, alpha).
+  VictimDetector::Config ewma{};
+  /// a_ij floor for counting an ingress router into fan_in.
+  double fan_in_floor = 10.0;
+  /// Optional extra alarm gates; 0 disables. When enabled, a victim also
+  /// alarms (no hysteresis — the gate clears as soon as the condition
+  /// stops holding) while velocity >= velocity_trigger or fan_in >=
+  /// fan_in_trigger.
+  double velocity_trigger = 0.0;
+  double fan_in_trigger = 0.0;
+};
+
+/// Alarm transition for one victim after one epoch.
+struct VictimDecision {
+  util::Addr victim = util::kInvalidAddr;
+  sim::NodeId router = sim::kInvalidNode;
+  bool raised = false;   ///< entered the alarming state this epoch
+  bool cleared = false;  ///< left the alarming state this epoch
+  bool alarming = false; ///< state after this epoch
+  FeatureVector features{};
+};
+
+class DetectorFeaturePipeline {
+ public:
+  DetectorFeaturePipeline() : DetectorFeaturePipeline(FeatureConfig{}) {}
+  explicit DetectorFeaturePipeline(FeatureConfig cfg);
+
+  /// Consumes one epoch snapshot: feeds the |Dj| detector over every
+  /// router, then extracts features and the combined decision for each
+  /// victim, in snapshot victim order. Deterministic: same snapshot
+  /// sequence, same decisions, regardless of which thread calls it.
+  std::vector<VictimDecision> step(const sketch::ControlSnapshot& snap);
+
+  const VictimDetector& ewma_detector() const noexcept { return ewma_; }
+  std::uint64_t epochs_processed() const noexcept { return epochs_; }
+  const FeatureConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct VictimState {
+    double prev_d = 0.0;
+    bool have_prev_d = false;
+    double prev_share = 0.0;
+    bool have_prev_share = false;
+    bool gate_alarming = false;  ///< extra velocity/fan-in gate state
+    bool alarming = false;       ///< combined state after the last epoch
+  };
+
+  FeatureConfig cfg_;
+  VictimDetector ewma_;
+  std::vector<VictimState> states_;
+  std::uint64_t epochs_ = 0;
+};
+
+}  // namespace mafic::pushback

@@ -6,7 +6,7 @@ namespace mafic::pushback {
 
 void VictimDetector::on_epoch(const sketch::TrafficMatrixSnapshot& snap) {
   if (states_.size() < snap.d.size()) {
-    states_.resize(snap.d.size(), RouterState{util::Ewma{cfg_.ewma_alpha}});
+    states_.resize(snap.d.size(), RouterState{cfg_.ewma_alpha});
   }
 
   for (std::size_t j = 0; j < snap.d.size(); ++j) {
@@ -34,8 +34,18 @@ void VictimDetector::on_epoch(const sketch::TrafficMatrixSnapshot& snap) {
       }
       st.baseline.update(d);
     } else {
+      // Clear hysteresis must honor the same absolute floor the trigger
+      // path applies: an alarm needs d > max(min_packets_per_epoch,
+      // trigger_factor * base), so traffic that has subsided BELOW the
+      // floor could never re-trigger and must clear — otherwise a flood
+      // over a small frozen baseline (e.g. base 30, floor 100) that drops
+      // to 50 pkts/epoch keeps the router alarming forever and the
+      // baseline never thaws.
       const double base = st.baseline.value();
-      if (d < cfg_.clear_factor * std::max(base, 1.0)) {
+      const double clear_below = std::max(
+          cfg_.clear_factor * std::max(base, 1.0),
+          cfg_.min_packets_per_epoch);
+      if (d < clear_below) {
         st.alarming = false;
         if (on_clear_) {
           on_clear_(static_cast<sim::NodeId>(j), snap.epoch_end);

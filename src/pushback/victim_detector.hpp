@@ -56,7 +56,14 @@ class VictimDetector {
 
  private:
   struct RouterState {
-    util::Ewma baseline{0.3};
+    /// No default constructor on purpose: every state must be built from
+    /// the configured alpha. (A member initializer with its own constant
+    /// used to live here; it was silently dead — on_epoch's resize always
+    /// overrode it — and a config-ignoring trap for any future
+    /// default-constructed state.)
+    explicit RouterState(double ewma_alpha) : baseline(ewma_alpha) {}
+
+    util::Ewma baseline;
     int epochs_seen = 0;
     bool alarming = false;
   };

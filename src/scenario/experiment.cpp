@@ -99,10 +99,12 @@ void Experiment::build_topology() {
   // them round-robin; every MAFIC filter defends the whole set.
   victim_addrs_.push_back(domain_->victim_addr());
   victim_hosts_.push_back(domain_->victim_host());
+  victim_routers_.push_back(domain_->victim_router());
   for (std::size_t i = 0; i < cfg_.extra_victims; ++i) {
     auto& access = domain_->attach_host();
     victim_addrs_.push_back(net_->node(access.host)->addr());
     victim_hosts_.push_back(access.host);
+    victim_routers_.push_back(access.router);
   }
 }
 
@@ -117,6 +119,21 @@ void Experiment::build_sketches() {
                                 domain_->victim_router(), bank_.get());
   sketch::attach_ingress_counter(domain_->victim_access().uplink,
                                  domain_->victim_router(), bank_.get());
+  // Extra victims are ordinary attached hosts, but they are protected
+  // destinations: without egress taps on their access links their
+  // last-hop routers' |Dj| never fills and the detector is blind to
+  // them. (At this point access_links() holds exactly the extra-victim
+  // hosts — traffic hosts are attached later, in build_flows.)
+  for (const auto& access : domain_->access_links()) {
+    if (std::find(victim_hosts_.begin() + 1, victim_hosts_.end(),
+                  access.host) == victim_hosts_.end()) {
+      continue;
+    }
+    sketch::attach_egress_counter(access.downlink, access.router,
+                                  bank_.get());
+    sketch::attach_ingress_counter(access.uplink, access.router,
+                                   bank_.get());
+  }
   monitor_->start();
 }
 
@@ -284,13 +301,47 @@ void Experiment::build_defense() {
 
   coordinator_ = std::make_unique<pushback::PushbackCoordinator>(
       &sim_, cfg_.pushback);
-  coordinator_->protect(domain_->victim_router(), domain_->victim_addr());
+  // Protect EVERY configured destination. This used to register only the
+  // primary victim, so with extra_victims > 0 detector-mode defense never
+  // engaged for the secondaries and atr.recall silently counted their
+  // ATRs as misses.
+  for (std::size_t i = 0; i < victim_addrs_.size(); ++i) {
+    coordinator_->protect(victim_routers_[i], victim_addrs_[i]);
+  }
   if (cfg_.trigger == TriggerMode::kDetector) {
-    coordinator_->watch(*monitor_);
     coordinator_->set_trigger_callback(
         [this](double t, const std::vector<pushback::AtrScore>&) {
           if (!ledger_.triggered()) ledger_.set_trigger_time(t);
         });
+    // Asynchronous control plane: detection runs against frozen epoch
+    // snapshots (as pool work when the threaded datapath is on) and is
+    // applied per victim through the coordinator's actuator registry —
+    // the epoch callback no longer walks the matrix inline.
+    pushback::ControlPlane::Config cp;
+    cp.control_delay = cfg_.pushback.control_delay;
+    cp.latch = cfg_.pushback.latch;
+    cp.atr = cfg_.pushback.atr;
+    cp.features.ewma = cfg_.pushback.detector;
+    cp.features.fan_in_floor = cfg_.pushback.atr.min_intersection;
+    control_plane_ = std::make_unique<pushback::ControlPlane>(
+        &sim_, coordinator_.get(), cp);
+    for (std::size_t i = 0; i < victim_addrs_.size(); ++i) {
+      control_plane_->protect(victim_routers_[i], victim_addrs_[i]);
+    }
+    control_plane_->set_counter_source(
+        [this](std::vector<sketch::VictimCounterSample>& samples) {
+          for (auto& s : samples) {
+            const VictimBreakdown b = victim_breakdown(s.victim);
+            s.decided_nice = b.decided_nice;
+            s.decided_malicious = b.decided_malicious;
+            s.screened_sources = b.screened_sources;
+            s.evictions = b.evictions;
+          }
+        });
+    if (shard_pool_ != nullptr) {
+      control_plane_->set_pool(shard_pool_.get());
+    }
+    control_plane_->watch(*monitor_);
   }
 
   // Weighted per-victim quotas: pair each protected destination with its
@@ -375,6 +426,30 @@ void Experiment::build_defense() {
         break;
     }
   }
+}
+
+VictimBreakdown Experiment::victim_breakdown(util::Addr victim) const {
+  VictimBreakdown b;
+  b.victim = victim;
+  for (const auto* f : mafic_filters_) {
+    const auto& per = f->engine().victim_stats();
+    const auto it = per.find(victim);
+    if (it == per.end()) continue;
+    b.decided_nice += it->second.decided_nice;
+    b.decided_malicious += it->second.decided_malicious;
+    b.screened_sources += it->second.screened_sources;
+    b.evictions += it->second.evictions;
+    b.quota_evictions += it->second.quota_evictions;
+  }
+  for (const auto* f : sharded_filters_) {
+    const auto vs = f->victim_stats_for(victim);
+    b.decided_nice += vs.decided_nice;
+    b.decided_malicious += vs.decided_malicious;
+    b.screened_sources += vs.screened_sources;
+    b.evictions += vs.evictions;
+    b.quota_evictions += vs.quota_evictions;
+  }
+  return b;
 }
 
 std::vector<sim::NodeId> Experiment::ground_truth_atrs() const {
@@ -471,34 +546,26 @@ ExperimentResult Experiment::snapshot_result() const {
   }
 
   // Per-victim decision breakdown (engine-side accounting keyed by the
-  // flow label's destination), aggregated across every filter.
-  for (const util::Addr v : victim_addrs_) {
-    VictimBreakdown b;
-    b.victim = v;
-    for (const auto* f : mafic_filters_) {
-      const auto& per = f->engine().victim_stats();
-      const auto it = per.find(v);
-      if (it == per.end()) continue;
-      b.decided_nice += it->second.decided_nice;
-      b.decided_malicious += it->second.decided_malicious;
-      b.screened_sources += it->second.screened_sources;
-      b.evictions += it->second.evictions;
-      b.quota_evictions += it->second.quota_evictions;
-    }
-    for (const auto* f : sharded_filters_) {
-      const auto vs = f->victim_stats_for(v);
-      b.decided_nice += vs.decided_nice;
-      b.decided_malicious += vs.decided_malicious;
-      b.screened_sources += vs.screened_sources;
-      b.evictions += vs.evictions;
-      b.quota_evictions += vs.quota_evictions;
+  // flow label's destination), aggregated across every filter, plus the
+  // control plane's per-victim trigger outcome in detector mode.
+  for (std::size_t i = 0; i < victim_addrs_.size(); ++i) {
+    VictimBreakdown b = victim_breakdown(victim_addrs_[i]);
+    if (control_plane_ != nullptr &&
+        i < control_plane_->statuses().size()) {
+      const auto& st = control_plane_->statuses()[i];
+      b.trigger_time = st.trigger_time;
+      b.clear_time = st.clear_time;
+      b.alarms = st.alarms;
     }
     r.per_victim.push_back(b);
   }
 
   // ATR diagnostics: identified (detector mode) or assumed (scripted).
   r.atr.ground_truth = ground_truth_atrs();
-  if (cfg_.trigger == TriggerMode::kDetector && coordinator_ != nullptr) {
+  if (control_plane_ != nullptr) {
+    r.atr.identified = control_plane_->active_atrs();
+  } else if (cfg_.trigger == TriggerMode::kDetector &&
+             coordinator_ != nullptr) {
     r.atr.identified = coordinator_->active_atrs();
   } else {
     for (const auto* f : mafic_filters_) {

@@ -16,7 +16,11 @@
 ///    detection quality belongs to the set-union substrate of [2].
 ///  * kDetector: the full pipeline — LogLog sketches, per-epoch traffic
 ///    matrix, |Dj| anomaly detection, a_ij ATR identification — drives the
-///    activation. Used by integration tests and the pushback example.
+///    activation, asynchronously: a pushback::ControlPlane freezes an
+///    epoch snapshot, runs the feature-based detection step per protected
+///    destination (as a worker-pool task when the threaded datapath is
+///    on), and applies per-victim engage/disengage decisions one control
+///    delay later. Every victim in victim_addrs() is protected.
 
 #include <memory>
 #include <vector>
@@ -32,6 +36,7 @@
 #include "core/sharded_mafic_filter.hpp"
 #include "metrics/ledger.hpp"
 #include "metrics/report.hpp"
+#include "pushback/control_plane.hpp"
 #include "pushback/coordinator.hpp"
 #include "sim/monitor.hpp"
 #include "sim/network.hpp"
@@ -115,12 +120,13 @@ struct ExperimentConfig {
   /// scripted trigger activates every ATR with the full victim set, and
   /// the per-victim decision breakdown lands in
   /// ExperimentResult::per_victim. Flow keys hash the destination, so one
-  /// ATR's tables partition naturally per victim. Caveats: kScripted
-  /// trigger only (the sketch detector watches the primary victim's
-  /// access link), and the victim-bandwidth instrumentation — beta and
-  /// victim_offered_bytes — likewise covers the primary victim's link
-  /// only; extra-victim outcomes are reported via per_victim and alpha
-  /// (defense drops are counted at the ATRs, victim-agnostic).
+  /// ATR's tables partition naturally per victim. In kDetector mode every
+  /// extra victim's access link is sketch-tapped and the control plane
+  /// protects each one independently (per-victim trigger/clear times land
+  /// in per_victim). Caveat: the victim-bandwidth instrumentation — beta
+  /// and victim_offered_bytes — covers the primary victim's link only;
+  /// extra-victim outcomes are reported via per_victim and alpha (defense
+  /// drops are counted at the ATRs, victim-agnostic).
   std::size_t extra_victims = 0;
 
   // --- topology ------------------------------------------------------------
@@ -224,6 +230,12 @@ struct VictimBreakdown {
   std::uint64_t evictions = 0;
   /// Subset where this victim, over quota, paid for another victim.
   std::uint64_t quota_evictions = 0;
+  /// Detector-mode control-plane outcome for this victim (kDetector only;
+  /// -1.0 / 0 otherwise). trigger_time is the first apply-event
+  /// engagement; clear_time the last disengagement (unlatched runs).
+  double trigger_time = -1.0;
+  double clear_time = -1.0;
+  std::uint64_t alarms = 0;  ///< detector raise transitions observed
 };
 
 struct ExperimentResult {
@@ -286,6 +298,11 @@ class Experiment {
   pushback::PushbackCoordinator* coordinator() noexcept {
     return coordinator_.get();
   }
+  /// Asynchronous detection layer (non-null iff trigger == kDetector and
+  /// a defense is installed).
+  pushback::ControlPlane* control_plane() noexcept {
+    return control_plane_.get();
+  }
   const std::vector<core::MaficFilter*>& mafic_filters() const noexcept {
     return mafic_filters_;
   }
@@ -320,6 +337,9 @@ class Experiment {
   void build_flows();
   void arm_trigger();
   std::vector<sim::NodeId> ground_truth_atrs() const;
+  /// One victim's decision counters aggregated across every MAFIC filter
+  /// (shared by snapshot_result and the control plane's counter source).
+  VictimBreakdown victim_breakdown(util::Addr victim) const;
 
   ExperimentConfig cfg_;
   sim::Simulator sim_;
@@ -341,6 +361,7 @@ class Experiment {
   std::unique_ptr<sketch::RouterSketchBank> bank_;
   std::unique_ptr<sketch::TrafficMonitor> monitor_;
   std::unique_ptr<pushback::PushbackCoordinator> coordinator_;
+  std::unique_ptr<pushback::ControlPlane> control_plane_;
 
   metrics::PacketLedger ledger_;
 
@@ -362,9 +383,10 @@ class Experiment {
   std::vector<sim::NodeId> zombie_routers_;
 
   // Protected destinations: primary victim + cfg.extra_victims hosts,
-  // parallel arrays of address and host node.
+  // parallel arrays of address, host node, and last-hop router.
   std::vector<util::Addr> victim_addrs_;
   std::vector<sim::NodeId> victim_hosts_;
+  std::vector<sim::NodeId> victim_routers_;
 
   std::size_t legit_count_ = 0;
   std::size_t attack_count_ = 0;

@@ -68,6 +68,14 @@ ExperimentConfig compile(const ScenarioSpec& spec) {
   cfg.sft_victim_weights = spec.victim_provisioned_bps;
   cfg.mafic.sft_capacity = spec.sft_capacity;
   cfg.scripted_trigger_time = spec.trigger_time;
+  if (spec.detector_trigger) {
+    cfg.trigger = TriggerMode::kDetector;
+    cfg.pushback.latch = spec.detector_latch;
+    if (spec.detector_min_packets > 0.0) {
+      cfg.pushback.detector.min_packets_per_epoch =
+          spec.detector_min_packets;
+    }
+  }
   cfg.end_time = spec.end_time;
   return cfg;
 }
@@ -251,6 +259,24 @@ std::uint64_t fingerprint(const ExperimentResult& r) {
     add(pv.evictions);
     add(pv.quota_evictions);
   }
+  return h;
+}
+
+std::uint64_t detector_fingerprint(const ExperimentResult& r) {
+  std::uint64_t h = fingerprint(r);
+  const auto add = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const VictimBreakdown& pv : r.per_victim) {
+    add(pv.alarms);
+    add(pv.trigger_time >= 0.0 ? 1 : 0);
+    add(pv.clear_time >= 0.0 ? 1 : 0);
+  }
+  add(r.atr.identified.size());
+  for (const sim::NodeId id : r.atr.identified) add(id);
   return h;
 }
 

@@ -85,6 +85,17 @@ struct ScenarioSpec {
   double sft_victim_quota = 0.0;  ///< MaficConfig::sft_victim_quota
   std::size_t sft_capacity = 4096;
   double trigger_time = 2.7;      ///< scripted pushback notification
+  /// TriggerMode::kDetector: the asynchronous control plane (epoch
+  /// snapshots, per-victim feature detection, apply-after-control-delay)
+  /// drives activation instead of the scripted notification. The
+  /// detector battery runs catalog shapes with this on and compares
+  /// detector_fingerprint() across strategies.
+  bool detector_trigger = false;
+  bool detector_latch = true;  ///< pushback latch in detector mode
+  /// Detector |Dj| floor override (packets/epoch; 0 = library default).
+  /// A victim's last-hop router also carries colocated hosts' egress
+  /// (TCP ack streams), so batteries set this above that noise.
+  double detector_min_packets = 0.0;
 
   // --- run -----------------------------------------------------------------
   double end_time = 8.0;
@@ -170,6 +181,14 @@ struct ScenarioOutcome {
 /// times) and unordered diagnostics are excluded, so the value is exactly
 /// reproducible across strategies that make identical per-flow decisions.
 std::uint64_t fingerprint(const ExperimentResult& r);
+
+/// fingerprint(r) extended with the detector-mode outcome: per-victim
+/// alarm counts and engage/clear flags, and the ordered identified-ATR
+/// set. Trigger/clear TIMES are doubles and stay out of the hash (same
+/// exclusion rule as fingerprint()); the battery compares them with
+/// exact equality across strategies instead, since apply events are
+/// epoch-aligned.
+std::uint64_t detector_fingerprint(const ExperimentResult& r);
 
 /// Compiles, applies the strategy, installs the generated timeline and
 /// runs to end_time. Aborts (assert) on a timeline that fails validation —

@@ -109,6 +109,64 @@ TEST(VictimDetector, ClearsWhenTrafficSubsides) {
   EXPECT_EQ(cleared[0], 1u);
 }
 
+TEST(VictimDetector, ClearsWhenAttackSubsidesBelowTriggerFloor) {
+  // Regression: the trigger path floors at min_packets_per_epoch, but the
+  // clear path used to check only d < clear_factor * max(base, 1). With a
+  // small frozen baseline (30 << floor 100) an attack subsiding to
+  // 50 pkts/epoch — below the floor, i.e. unable to ever re-trigger —
+  // kept the router alarming forever and the baseline frozen.
+  VictimDetector::Config cfg;
+  cfg.warmup_epochs = 1;
+  cfg.trigger_factor = 2.5;
+  cfg.clear_factor = 1.5;
+  cfg.min_packets_per_epoch = 100;
+  VictimDetector det(cfg);
+  std::vector<sim::NodeId> cleared;
+  det.set_clear_callback(
+      [&](sim::NodeId r, double) { cleared.push_back(r); });
+
+  // Small baseline (~30/epoch), well under the alarm floor.
+  for (int e = 0; e < 3; ++e) {
+    det.on_epoch(make_snapshot(2, 0, 1, 30, e * 1000000ULL));
+  }
+  EXPECT_FALSE(det.alarming(1));
+  det.on_epoch(make_snapshot(2, 0, 1, 3000, 90000000ULL));  // alarm
+  ASSERT_TRUE(det.alarming(1));
+  // Subside to 50/epoch: above 1.5 * 30 = 45, but below the 100 floor.
+  // Must clear (and keep clearing on repeat epochs, baseline thawed).
+  det.on_epoch(make_snapshot(2, 0, 1, 50, 91000000ULL));
+  EXPECT_FALSE(det.alarming(1));
+  ASSERT_EQ(cleared.size(), 1u);
+  EXPECT_EQ(cleared[0], 1u);
+  det.on_epoch(make_snapshot(2, 0, 1, 50, 92000000ULL));
+  EXPECT_FALSE(det.alarming(1));
+  EXPECT_GT(det.baseline(1), 30.0);  // baseline resumed tracking
+}
+
+TEST(VictimDetector, ConfiguredEwmaAlphaChangesDetection) {
+  // Regression for the dead RouterState{0.3} member default: a
+  // non-default ewma_alpha must actually change when the detector fires.
+  // Baseline ramps 100, 200, ..., then a 900-packet epoch arrives. With
+  // alpha=1.0 the baseline tracks the last sample (400) so 900 < 2.5*400
+  // stays quiet; with a tiny alpha the baseline barely moves off 100 and
+  // 900 > 2.5*~110 alarms.
+  const auto alarms_with_alpha = [](double alpha) {
+    VictimDetector::Config cfg;
+    cfg.warmup_epochs = 1;
+    cfg.trigger_factor = 2.5;
+    cfg.min_packets_per_epoch = 50;
+    cfg.ewma_alpha = alpha;
+    VictimDetector det(cfg);
+    for (int e = 1; e <= 4; ++e) {
+      det.on_epoch(make_snapshot(2, 0, 1, 100ULL * e, e * 1000000ULL));
+    }
+    det.on_epoch(make_snapshot(2, 0, 1, 900, 99000000ULL));
+    return det.alarms_raised();
+  };
+  EXPECT_EQ(alarms_with_alpha(1.0), 0u);
+  EXPECT_EQ(alarms_with_alpha(0.05), 1u);
+}
+
 TEST(VictimDetector, BaselineFrozenWhileAlarming) {
   VictimDetector::Config cfg;
   cfg.warmup_epochs = 1;

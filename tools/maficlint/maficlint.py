@@ -479,27 +479,39 @@ def check_hotpath(files, manifest):
 
 
 def check_seams(files, manifest):
+    """Seam groups: the legacy top-level [seams] worker_files/banned pair,
+    plus any number of NAMED sub-groups ([seams.<name>] with files= and
+    [[seams.<name>.banned]]) so each side of a seam can declare its own
+    vocabulary ban list (e.g. control-plane files may not name the
+    datapath engines)."""
     cfg = manifest.get("seams", {})
-    worker_files = cfg.get("worker_files", [])
-    banned = cfg.get("banned", [])
+    groups = []
+    if cfg.get("worker_files"):
+        groups.append(("worker-side", cfg.get("worker_files", []),
+                       cfg.get("banned", [])))
+    for name, sub in sorted(cfg.items()):
+        if isinstance(sub, dict):
+            groups.append((name.replace("_", "-"), sub.get("files", []),
+                           sub.get("banned", [])))
     findings = []
-    for rel in worker_files:
-        sf = files.get(rel)
-        if sf is None:
-            findings.append(Finding(
-                rel, 1, "manifest",
-                f"seam-discipline worker file '{rel}' not found "
-                f"(manifest drift — update invariants.toml [seams])"))
-            continue
-        for ban in banned:
-            for m in re.finditer(ban["pattern"], sf.code):
-                line = line_of_offset(sf.code, m.start())
-                if allowed(sf.allows, "seams", line):
-                    continue
+    for label, group_files, banned in groups:
+        for rel in group_files:
+            sf = files.get(rel)
+            if sf is None:
                 findings.append(Finding(
-                    rel, line, "seams",
-                    f"worker-side file names '{m.group(0).strip()}': "
-                    f"{ban['why']}"))
+                    rel, 1, "manifest",
+                    f"seam-discipline {label} file '{rel}' not found "
+                    f"(manifest drift — update invariants.toml [seams])"))
+                continue
+            for ban in banned:
+                for m in re.finditer(ban["pattern"], sf.code):
+                    line = line_of_offset(sf.code, m.start())
+                    if allowed(sf.allows, "seams", line):
+                        continue
+                    findings.append(Finding(
+                        rel, line, "seams",
+                        f"{label} file names '{m.group(0).strip()}': "
+                        f"{ban['why']}"))
     return findings
 
 

@@ -1,0 +1,14 @@
+#pragma once
+
+// Fixture: a manifest-listed control-plane file (named seam sub-group)
+// that illegally names datapath engines — once for the flow tables,
+// once for the filter engine.
+
+namespace fix {
+
+struct ControlPlane {
+  void snapshot(FlowTables* tables);
+  void actuate() { FilterEngine::activate_all(); }
+};
+
+}  // namespace fix
